@@ -1,0 +1,189 @@
+package crackstore
+
+import (
+	"fmt"
+
+	"crackstore/internal/dict"
+	"crackstore/internal/engine"
+	"crackstore/internal/partial"
+	"crackstore/internal/sideways"
+	"crackstore/internal/store"
+)
+
+// Core types, re-exported from the kernel and engine layers.
+type (
+	// Value is the attribute value type (int64; strings are dictionary-
+	// encoded by callers).
+	Value = store.Value
+	// Pred is a one-attribute range predicate.
+	Pred = store.Pred
+	// Relation is a named set of aligned columns.
+	Relation = store.Relation
+	// AttrPred pairs an attribute name with a predicate.
+	AttrPred = engine.AttrPred
+	// Query is a multi-selection, multi-projection query.
+	Query = engine.Query
+	// Result holds positionally aligned projection columns.
+	Result = engine.Result
+	// Cost is the selection / tuple-reconstruction cost split.
+	Cost = engine.Cost
+	// Engine is one physical design over a relation.
+	Engine = engine.Engine
+	// Kind identifies a physical design.
+	Kind = engine.Kind
+	// JoinSide describes one side of a join query.
+	JoinSide = engine.JoinSide
+	// JoinCost breaks a join into pre-join, join, and post-join phases.
+	JoinCost = engine.JoinCost
+)
+
+// Engine kinds.
+const (
+	// Scan is the plain column-store baseline: full scans with
+	// order-preserving selects.
+	Scan = engine.Scan
+	// SelCrack is selection cracking (CIDR 2007).
+	SelCrack = engine.SelCrack
+	// Presorted keeps presorted copies per selection attribute.
+	Presorted = engine.Presorted
+	// Sideways is sideways cracking with fully materialized maps
+	// (Section 3 of the paper).
+	Sideways = engine.Sideways
+	// PartialSideways is partial sideways cracking with chunked maps and
+	// storage management (Section 4 of the paper).
+	PartialSideways = engine.PartialSideways
+	// RowStore is the N-ary row-store reference engine (read-only).
+	RowStore = engine.RowStore
+)
+
+// Range returns the half-open predicate lo <= v < hi.
+func Range(lo, hi Value) Pred { return store.Range(lo, hi) }
+
+// OpenRange returns the open predicate lo < v < hi.
+func OpenRange(lo, hi Value) Pred { return store.Open(lo, hi) }
+
+// Point returns the equality predicate v == x.
+func Point(x Value) Pred { return store.Point(x) }
+
+// NewRelation returns an empty relation with the given attribute names.
+func NewRelation(name string, attrs ...string) *Relation {
+	return store.NewRelation(name, attrs...)
+}
+
+// Build constructs a relation of n rows with gen supplying each value.
+func Build(name string, n int, attrs []string, gen func(attr string, row int) Value) *Relation {
+	return store.Build(name, n, attrs, gen)
+}
+
+// Open wraps rel (not copied) in an engine of the given kind.
+func Open(kind Kind, rel *Relation) Engine { return engine.New(kind, rel) }
+
+// OpenSidewaysBudget opens a full-map sideways engine with a storage
+// threshold in tuples (maps are dropped least-frequently-used first).
+func OpenSidewaysBudget(rel *Relation, budget int) Engine {
+	return engine.NewSidewaysWithBudget(rel, budget)
+}
+
+// OpenPartialBudget opens a partial sideways engine with a chunk-storage
+// threshold in tuples.
+func OpenPartialBudget(rel *Relation, budget int) Engine {
+	return engine.NewPartialWithBudget(rel, budget)
+}
+
+// PartialOptions tunes the partial sideways engine beyond the budget.
+type PartialOptions struct {
+	// Budget is the chunk storage threshold in tuples; 0 = unlimited.
+	Budget int
+	// CachedPieceTuples enables head dropping once every piece of a chunk
+	// is at most this many tuples; 0 disables.
+	CachedPieceTuples int
+	// HeadDropIdleQueries drops heads of chunks not cracked for this many
+	// queries; 0 disables.
+	HeadDropIdleQueries int
+}
+
+// OpenPartialWithOptions opens a partial sideways engine with full control
+// over the storage-management knobs of Section 4.
+func OpenPartialWithOptions(rel *Relation, opts PartialOptions) Engine {
+	st := partial.NewStore(rel)
+	st.Budget = opts.Budget
+	st.CachedPieceTuples = opts.CachedPieceTuples
+	st.HeadDropIdleQueries = opts.HeadDropIdleQueries
+	return engine.WrapPartial(st)
+}
+
+// JoinMax evaluates a two-sided join with per-side conjunctive selections
+// and returns the maxima of the requested projections, keyed "L.attr" /
+// "R.attr" (the paper's q2 shape).
+func JoinMax(l, r JoinSide) (map[string]Value, JoinCost) { return engine.JoinMax(l, r) }
+
+// MaxPerProj reduces a result to per-projection maxima.
+func MaxPerProj(res Result, projs []string) (map[string]Value, bool) {
+	return engine.MaxPerProj(res, projs)
+}
+
+// SidewaysStore returns the underlying sideways store of a Sideways engine
+// for advanced inspection (map sets, tapes, storage), or nil.
+func SidewaysStore(e Engine) *sideways.Store {
+	if se, ok := e.(interface{ Store() *sideways.Store }); ok {
+		return se.Store()
+	}
+	return nil
+}
+
+// PartialStore returns the underlying partial store of a PartialSideways
+// engine, or nil.
+func PartialStore(e Engine) *partial.Store {
+	if pe, ok := e.(interface{ Store() *partial.Store }); ok {
+		return pe.Store()
+	}
+	return nil
+}
+
+// Dict is an order-preserving string dictionary: string range and prefix
+// predicates become integer range predicates, making string columns
+// crackable (the "string cracking" direction of the paper's conclusions).
+type Dict = dict.Dict
+
+// BuildDict builds an order-preserving dictionary over the distinct
+// strings in vals.
+func BuildDict(vals []string) *Dict { return dict.Build(vals) }
+
+// KeyPair is one cracker-join match (tuple keys of both inputs).
+type KeyPair = sideways.KeyPair
+
+// CrackerJoin joins lAttr of the left engine's relation with rAttr of the
+// right engine's over range partitions derived from (and retained as)
+// cracking knowledge — the partitioned join of Section 3.4. Both engines
+// must be Sideways engines.
+func CrackerJoin(l Engine, lAttr string, r Engine, rAttr string, parts int) ([]KeyPair, error) {
+	ls, rs := SidewaysStore(l), SidewaysStore(r)
+	if ls == nil || rs == nil {
+		return nil, fmt.Errorf("crackstore: CrackerJoin requires Sideways engines, got %v and %v", l.Kind(), r.Kind())
+	}
+	return sideways.CrackerJoin(ls, lAttr, rs, rAttr, parts), nil
+}
+
+// ClusteredMax returns the maximum live value of attr on a Sideways
+// engine, reading only the last non-empty piece of an existing cracker map
+// (Section 3.4: "a max can consider only the last piece of a map"). For
+// other engine kinds it returns ok == false.
+func ClusteredMax(e Engine, attr string) (v Value, ok bool) {
+	if st := SidewaysStore(e); st != nil {
+		return st.MaxAttr(attr)
+	}
+	return 0, false
+}
+
+// ClusteredMin is the symmetric minimum.
+func ClusteredMin(e Engine, attr string) (v Value, ok bool) {
+	if st := SidewaysStore(e); st != nil {
+		return st.MinAttr(attr)
+	}
+	return 0, false
+}
+
+// Synchronized wraps an engine with a mutex so it can be shared across
+// goroutines. Cracking engines reorganize data as a side effect of queries
+// — reads are writes — so unsynchronized concurrent use is never safe.
+func Synchronized(e Engine) Engine { return engine.Synchronized(e) }

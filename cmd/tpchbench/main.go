@@ -1,0 +1,52 @@
+// Command tpchbench regenerates the TPC-H experiments of the paper's
+// Section 5: Figure 14 (per-query sequences of 30 parameter variations on
+// five engines), the improvement summary table, and the mixed-workload
+// closing figure.
+//
+// Usage:
+//
+//	tpchbench -all                  # Figure 14 + summary table
+//	tpchbench -mixed                # mixed workload figure
+//	tpchbench -sf 0.05 -runs 30     # bigger scale factor
+//
+// The paper runs scale factor 1 (6M lineitems); the default here is
+// SF 0.01 (60K lineitems) so a full run finishes in seconds. Shapes — who
+// wins and by what factor — are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crackstore/internal/exp"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor (paper: 1)")
+		runs    = flag.Int("runs", 30, "parameter variations per query (paper: 30)")
+		all     = flag.Bool("all", false, "run Figure 14 for all twelve queries")
+		mixed   = flag.Bool("mixed", false, "run the mixed-workload experiment")
+		batches = flag.Int("batches", 5, "mixed workload batches (paper: 5)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		csvDir  = flag.String("csv", "", "also write full series as CSV files into this directory")
+	)
+	flag.Parse()
+	if !*all && !*mixed {
+		*all = true
+	}
+
+	cfg := exp.Config{Seed: *seed, W: os.Stdout, CSVDir: *csvDir}
+	if *all {
+		t0 := time.Now()
+		exp.Fig14(cfg, *sf, *runs)
+		fmt.Printf("\n[fig14 completed in %v]\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if *mixed {
+		t0 := time.Now()
+		exp.Mixed(cfg, *sf, *batches)
+		fmt.Printf("\n[mixed completed in %v]\n", time.Since(t0).Round(time.Millisecond))
+	}
+}

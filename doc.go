@@ -1,0 +1,35 @@
+// Package crackstore is a from-scratch Go implementation of
+// "Self-organizing Tuple Reconstruction in Column-stores" (Idreos, Kersten,
+// Manegold; SIGMOD 2009): partial sideways cracking and every substrate it
+// builds on.
+//
+// A column-store answers multi-attribute queries by reconstructing tuples
+// from per-attribute columns — a join on tuple IDs that dominates query
+// cost once selections stop being order-preserving. The paper's answer is
+// sideways cracking: auxiliary two-column cracker maps M_AB (attribute A
+// alongside attribute B) that are physically reorganized a little more by
+// every query, so qualifying tuples of all needed attributes end up
+// clustered and positionally aligned, making reconstruction a slice rather
+// than a scattered gather. Partial sideways cracking materializes those
+// maps lazily, chunk by chunk, so the structure adapts to the workload
+// under a storage budget.
+//
+// The package exposes six interchangeable engines over the same relation
+// and query model:
+//
+//	e := crackstore.Open(crackstore.Sideways, rel)
+//	res, cost := e.Query(crackstore.Query{
+//	    Preds: []crackstore.AttrPred{{Attr: "A", Pred: crackstore.Range(10, 20)}},
+//	    Projs: []string{"B", "C"},
+//	})
+//
+// Engines: Scan (plain column-store), SelCrack (selection cracking,
+// CIDR 2007), Presorted (presorted copies), Sideways (Section 3),
+// PartialSideways (Section 4) and RowStore (an N-ary reference engine).
+// All support the same insert/delete API; cracking engines merge updates
+// lazily with the Ripple algorithm (SIGMOD 2007).
+//
+// The cmd/crackbench and cmd/tpchbench tools regenerate every table and
+// figure of the paper's evaluation; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for measured results.
+package crackstore

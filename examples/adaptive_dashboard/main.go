@@ -1,0 +1,56 @@
+// Adaptive dashboard: a monitoring workload where 90% of queries hit the
+// most recent slice of a metrics table (the hot set). Sideways cracking
+// concentrates its physical reorganization exactly where the workload
+// lands (the paper's Exp5): the hot region converges to presorted-like
+// speed within a handful of queries while cold queries still work and
+// gradually improve.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	crackstore "crackstore"
+	"crackstore/internal/workload"
+)
+
+func main() {
+	const rows = 400000
+	rng := rand.New(rand.NewSource(7))
+	rel := crackstore.Build("metrics", rows,
+		[]string{"ts", "latency", "errors"},
+		func(attr string, row int) crackstore.Value {
+			if attr == "ts" {
+				return rng.Int63n(rows) // event timestamps
+			}
+			return rng.Int63n(10000)
+		})
+	e := crackstore.Open(crackstore.Sideways, rel)
+	gen := workload.New(rows, 99)
+
+	var hot, cold []time.Duration
+	for q := 0; q < 200; q++ {
+		// 9/10 dashboard refreshes look at the most recent half of the
+		// data; 1/10 are historical drill-downs.
+		pred := gen.Skewed(0.05, 0.5, 0.9)
+		res, cost := e.Query(crackstore.Query{
+			Preds: []crackstore.AttrPred{{Attr: "ts", Pred: pred}},
+			Projs: []string{"latency", "errors"},
+		})
+		if maxes, ok := crackstore.MaxPerProj(res, []string{"latency", "errors"}); ok && q%50 == 0 {
+			fmt.Printf("refresh %3d: window %v -> %6d samples, p100 latency %4d, max errors %4d (%v)\n",
+				q, pred, res.N, maxes["latency"], maxes["errors"], cost.Total())
+		}
+		if pred.Hi <= rows/2+1 {
+			hot = append(hot, cost.Total())
+		} else {
+			cold = append(cold, cost.Total())
+		}
+	}
+	fmt.Printf("\nhot-set queries:  %4d, first %v -> last %v\n", len(hot), hot[0], hot[len(hot)-1])
+	fmt.Printf("cold queries:     %4d, first %v -> last %v\n", len(cold), cold[0], cold[len(cold)-1])
+	fmt.Printf("map storage: %d tuples\n", e.Storage())
+	fmt.Println("\nThe hot range is cracked into fine pieces quickly; cold ranges")
+	fmt.Println("self-organize only as they are touched — no tuning, no DDL.")
+}

@@ -1,0 +1,69 @@
+// Updates: sideways cracking under a live insert/delete stream (the
+// paper's Exp6). Updates are queued as pending and merged by the Ripple
+// algorithm only when a query actually touches the affected value range,
+// so query answers are always exact while update cost is absorbed
+// incrementally — no index rebuild, ever. Contrast with presorted copies,
+// which must re-sort after any change.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	crackstore "crackstore"
+	"crackstore/internal/workload"
+)
+
+func main() {
+	const rows = 100000
+	rng := rand.New(rand.NewSource(5))
+	build := func() *crackstore.Relation {
+		r := rand.New(rand.NewSource(5))
+		return crackstore.Build("inventory", rows,
+			[]string{"price", "stock", "warehouse"},
+			func(string, int) crackstore.Value { return r.Int63n(100000) })
+	}
+
+	side := crackstore.Open(crackstore.Sideways, build())
+	scan := crackstore.Open(crackstore.Scan, build())
+	gen := workload.New(100000, 21)
+
+	live := make([]int, rows)
+	for i := range live {
+		live[i] = i
+	}
+
+	fmt.Println("10 random updates every 10 queries (HFLV scenario)")
+	fmt.Printf("%-8s%14s%14s%10s\n", "query", "sideways", "plain scan", "rows")
+	for q := 1; q <= 100; q++ {
+		if q%10 == 0 {
+			for u := 0; u < 10; u++ {
+				i := rng.Intn(len(live))
+				key := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				side.Delete(key)
+				scan.Delete(key)
+				vals := []crackstore.Value{gen.Value(), gen.Value(), gen.Value()}
+				k1 := side.Insert(vals...)
+				scan.Insert(vals...)
+				live = append(live, k1)
+			}
+		}
+		pred := gen.Range(0.2)
+		q1 := crackstore.Query{
+			Preds: []crackstore.AttrPred{{Attr: "price", Pred: pred}},
+			Projs: []string{"stock", "warehouse"},
+		}
+		r1, c1 := side.Query(q1)
+		r2, c2 := scan.Query(q1)
+		if r1.N != r2.N {
+			panic(fmt.Sprintf("engines disagree: %d vs %d", r1.N, r2.N))
+		}
+		if q%10 == 1 {
+			fmt.Printf("%-8d%14v%14v%10d\n", q, c1.Total(), c2.Total(), r1.N)
+		}
+	}
+	fmt.Println("\nSideways cracking keeps its self-organized advantage across the")
+	fmt.Println("update stream; pending updates merge only when queries need them.")
+}

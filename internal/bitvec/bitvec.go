@@ -1,0 +1,142 @@
+// Package bitvec provides a dense bit vector used for multi-predicate
+// filtering in sideways cracking (Section 3.3 of the paper). Conjunctive
+// query plans create a bit vector sized to the candidate area of the most
+// selective predicate and successive selections clear bits of tuples that
+// fail their predicate; disjunctive plans start with a vector sized to the
+// whole map and successively set bits.
+package bitvec
+
+import "math/bits"
+
+const wordBits = 64
+
+// Vector is a fixed-size bit vector. The zero value is an empty vector;
+// use New to create one with a given length.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a vector of n bits, all clear.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewSet returns a vector of n bits, all set.
+func NewSet(n int) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.clearTail()
+	return v
+}
+
+func (v *Vector) clearTail() {
+	if r := v.n % wordBits; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i.
+func (v *Vector) Set(i int) { v.words[i/wordBits] |= 1 << uint(i%wordBits) }
+
+// Clear clears bit i.
+func (v *Vector) Clear(i int) { v.words[i/wordBits] &^= 1 << uint(i%wordBits) }
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool { return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0 }
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects v with o in place. Panics if lengths differ.
+func (v *Vector) And(o *Vector) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Or unions v with o in place. Panics if lengths differ.
+func (v *Vector) Or(o *Vector) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// SetAll sets every bit.
+func (v *Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.clearTail()
+}
+
+// ClearAll clears every bit.
+func (v *Vector) ClearAll() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// SetRange sets bits [lo, hi).
+func (v *Vector) SetRange(lo, hi int) {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic("bitvec: bad range")
+	}
+	for i := lo; i < hi && i%wordBits != 0; i++ {
+		v.Set(i)
+	}
+	lo += (wordBits - lo%wordBits) % wordBits
+	if lo > hi {
+		return
+	}
+	for ; lo+wordBits <= hi; lo += wordBits {
+		v.words[lo/wordBits] = ^uint64(0)
+	}
+	for ; lo < hi; lo++ {
+		v.Set(lo)
+	}
+}
+
+// ForEachSet calls f with the index of every set bit, in ascending order.
+func (v *Vector) ForEachSet(f func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendSet appends the indices of all set bits to dst and returns it.
+func (v *Vector) AppendSet(dst []int) []int {
+	v.ForEachSet(func(i int) { dst = append(dst, i) })
+	return dst
+}
+
+// Clone returns a copy of v.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{words: make([]uint64, len(v.words)), n: v.n}
+	copy(w.words, v.words)
+	return w
+}

@@ -1,0 +1,224 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllClear(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", v.Count())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129, 1000} {
+		v := NewSet(n)
+		if v.Count() != n {
+			t.Fatalf("NewSet(%d).Count = %d", n, v.Count())
+		}
+	}
+}
+
+func TestSetClearGet(t *testing.T) {
+	v := New(200)
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(199)
+	for _, i := range []int{0, 63, 64, 199} {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", v.Count())
+	}
+	v.Clear(63)
+	if v.Get(63) {
+		t.Error("bit 63 should be clear")
+	}
+	if v.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", v.Count())
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	c := a.Clone()
+	c.And(b)
+	if c.Count() != 1 || !c.Get(50) {
+		t.Errorf("And: got count %d", c.Count())
+	}
+	d := a.Clone()
+	d.Or(b)
+	if d.Count() != 3 {
+		t.Errorf("Or: got count %d, want 3", d.Count())
+	}
+}
+
+func TestAndLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestSetRange(t *testing.T) {
+	for _, tc := range []struct{ n, lo, hi int }{
+		{10, 0, 10}, {10, 3, 7}, {200, 60, 70}, {200, 0, 200},
+		{200, 64, 128}, {200, 63, 129}, {200, 5, 5}, {65, 64, 65},
+	} {
+		v := New(tc.n)
+		v.SetRange(tc.lo, tc.hi)
+		if v.Count() != tc.hi-tc.lo {
+			t.Errorf("SetRange(%d,%d) on n=%d: count %d, want %d",
+				tc.lo, tc.hi, tc.n, v.Count(), tc.hi-tc.lo)
+		}
+		for i := 0; i < tc.n; i++ {
+			want := i >= tc.lo && i < tc.hi
+			if v.Get(i) != want {
+				t.Fatalf("SetRange(%d,%d): bit %d = %v, want %v", tc.lo, tc.hi, i, v.Get(i), want)
+			}
+		}
+	}
+}
+
+func TestForEachSetOrder(t *testing.T) {
+	v := New(500)
+	want := []int{3, 64, 65, 130, 499}
+	for _, i := range want {
+		v.Set(i)
+	}
+	var got []int
+	v.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendSet(t *testing.T) {
+	v := New(70)
+	v.Set(69)
+	v.Set(2)
+	got := v.AppendSet(nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != 69 {
+		t.Fatalf("AppendSet = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	b := a.Clone()
+	b.Set(6)
+	if a.Get(6) {
+		t.Fatal("Clone is not independent")
+	}
+	if !b.Get(5) {
+		t.Fatal("Clone lost bit")
+	}
+}
+
+// Property: Count equals the number of distinct indices set.
+func TestQuickCountMatchesSets(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		v := New(n)
+		set := map[int]bool{}
+		for i := 0; i < 100; i++ {
+			j := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				v.Set(j)
+				set[j] = true
+			} else {
+				v.Clear(j)
+				delete(set, j)
+			}
+		}
+		if v.Count() != len(set) {
+			return false
+		}
+		for j := range set {
+			if !v.Get(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And is intersection, Or is union (element-wise).
+func TestQuickAndOrSemantics(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(n), New(n)
+		as, bs := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				as[i] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				bs[i] = true
+			}
+		}
+		and, or := a.Clone(), a.Clone()
+		and.And(b)
+		or.Or(b)
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (as[i] && bs[i]) || or.Get(i) != (as[i] || bs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetRange(b *testing.B) {
+	v := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.SetRange(1000, 1<<19)
+		v.ClearAll()
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	v := NewSet(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.Count()
+	}
+}

@@ -1,0 +1,75 @@
+package crack
+
+import (
+	"math/rand"
+	"testing"
+
+	"crackstore/internal/store"
+)
+
+// FuzzCrackRange drives random crack sequences from fuzzer-chosen bytes:
+// every byte pair becomes a predicate. Invariants: the returned area
+// contains exactly the matching tuples, piece boundaries hold physically,
+// and the tuple multiset never changes.
+func FuzzCrackRange(f *testing.F) {
+	f.Add(int64(1), []byte{10, 40, 5, 60, 20, 20})
+	f.Add(int64(2), []byte{0, 255, 128, 129})
+	f.Add(int64(3), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, preds []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randPairs(rng, 256, 128)
+		before := pairSet(p)
+		for i := 0; i+1 < len(preds) && i < 40; i += 2 {
+			lo, hi := int64(preds[i])%128, int64(preds[i+1])%128
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pred := store.Pred{Lo: lo, Hi: hi, LoIncl: preds[i]%2 == 0, HiIncl: preds[i+1]%2 == 0}
+			alo, ahi := p.CrackRange(pred)
+			for j := 0; j < p.Len(); j++ {
+				in := j >= alo && j < ahi
+				if pred.Matches(p.Head[j]) != in {
+					t.Fatalf("pred %v: position %d (val %d) inArea=%v", pred, j, p.Head[j], in)
+				}
+			}
+		}
+		if !p.CheckPieces() {
+			t.Fatal("piece invariant violated")
+		}
+		if !equalSets(before, pairSet(p)) {
+			t.Fatal("tuple multiset changed")
+		}
+	})
+}
+
+// FuzzRippleUpdates mixes cracks, ripple inserts and positional removals.
+func FuzzRippleUpdates(f *testing.F) {
+	f.Add(int64(1), []byte{0, 10, 1, 20, 2, 3, 0, 50})
+	f.Add(int64(9), []byte{2, 2, 2, 2, 1, 1})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randPairs(rng, 128, 64)
+		live := p.Len()
+		for i := 0; i+1 < len(ops) && i < 60; i += 2 {
+			arg := int64(ops[i+1]) % 64
+			switch ops[i] % 3 {
+			case 0: // crack
+				p.CrackRange(store.Range(arg, arg+16))
+			case 1: // insert
+				p.RippleInsert(arg, Value(1000+i))
+				live++
+			case 2: // remove one position
+				if p.Len() > 0 {
+					p.RemovePositions([]int{int(arg) % p.Len()})
+					live--
+				}
+			}
+			if p.Len() != live {
+				t.Fatalf("length drift: %d vs %d", p.Len(), live)
+			}
+		}
+		if !p.CheckPieces() {
+			t.Fatal("piece invariant violated")
+		}
+	})
+}

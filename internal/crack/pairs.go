@@ -1,0 +1,217 @@
+// Package crack implements database cracking (CIDR 2007): incremental
+// physical reorganization of a column as a side effect of query processing,
+// plus the Ripple update algorithm (SIGMOD 2007) the paper's Section 3.5
+// builds on.
+//
+// The central type is Pairs, a two-column table (head, tail) with a cracker
+// index over the head. Every cracking structure in this repository is a
+// Pairs under the hood:
+//
+//	cracker column  C_A   — head = A values, tail = tuple keys
+//	cracker map     M_AB  — head = A values, tail = B values
+//	chunk map       H_A   — head = A values, tail = tuple keys
+//	key map         M_Akey— head = A values, tail = tuple keys
+//
+// Crack-in-two and crack-in-three are implemented as deterministic pure
+// functions of (piece contents, predicate). Determinism is the invariant
+// that makes sideways cracking's adaptive alignment correct: two maps of the
+// same set that replay the same sequence of cracks end up with identical
+// head orderings (Section 3.2).
+package crack
+
+import (
+	"sort"
+
+	"crackstore/internal/crackindex"
+	"crackstore/internal/store"
+)
+
+// Value aliases the kernel value type.
+type Value = store.Value
+
+// Pairs is a two-column table with a cracker index over the head column.
+type Pairs struct {
+	Head []Value
+	Tail []Value
+	Idx  *crackindex.Index
+}
+
+// NewPairs returns a Pairs over copies of head and tail. Panics if lengths
+// differ.
+func NewPairs(head, tail []Value) *Pairs {
+	if len(head) != len(tail) {
+		panic("crack: head/tail length mismatch")
+	}
+	h := make([]Value, len(head))
+	t := make([]Value, len(tail))
+	copy(h, head)
+	copy(t, tail)
+	return &Pairs{Head: h, Tail: t, Idx: crackindex.New()}
+}
+
+// WrapPairs returns a Pairs that takes ownership of head and tail without
+// copying.
+func WrapPairs(head, tail []Value) *Pairs {
+	if len(head) != len(tail) {
+		panic("crack: head/tail length mismatch")
+	}
+	return &Pairs{Head: head, Tail: tail, Idx: crackindex.New()}
+}
+
+// Len returns the number of tuples.
+func (p *Pairs) Len() int { return len(p.Head) }
+
+func (p *Pairs) swap(i, j int) {
+	p.Head[i], p.Head[j] = p.Head[j], p.Head[i]
+	p.Tail[i], p.Tail[j] = p.Tail[j], p.Tail[i]
+}
+
+// onLeft reports whether value v belongs strictly before boundary b.
+func onLeft(v Value, b crackindex.Bound) bool {
+	if b.Incl {
+		return v < b.V // boundary >= V: left side is < V
+	}
+	return v <= b.V // boundary > V: left side is <= V
+}
+
+// crackInTwo partitions positions [lo, hi) so that all values on the left
+// of boundary b precede all values at-or-right of it, returning the split
+// position. The algorithm is the two-pointer partition of [7]; it is a
+// deterministic function of the piece contents.
+func (p *Pairs) crackInTwo(b crackindex.Bound, lo, hi int) int {
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && onLeft(p.Head[i], b) {
+			i++
+		}
+		for i <= j && !onLeft(p.Head[j], b) {
+			j--
+		}
+		if i < j {
+			p.swap(i, j)
+			i++
+			j--
+		}
+	}
+	return i
+}
+
+// CrackBound ensures a physical boundary for b exists, cracking the piece it
+// falls into if necessary, and returns the boundary position. The index is
+// updated. A no-op if the boundary already exists.
+func (p *Pairs) CrackBound(b crackindex.Bound) int {
+	pc := p.Idx.PieceFor(b, len(p.Head))
+	if pc.LoExact {
+		return pc.Lo
+	}
+	pos := p.crackInTwo(b, pc.Lo, pc.Hi)
+	p.Idx.Insert(b, pos)
+	return pos
+}
+
+// CrackRange physically reorganizes the pairs so that all tuples matching
+// pred occupy the contiguous area [lo, hi), which is returned. This is the
+// core of operator sideways.select steps (4)-(6) and of crackers.select.
+func (p *Pairs) CrackRange(pred store.Pred) (lo, hi int) {
+	lo = p.CrackBound(pred.LowerBound())
+	hi = p.CrackBound(pred.UpperBound())
+	if hi < lo {
+		// Possible only for empty predicates (e.g. lo > hi); normalize.
+		hi = lo
+	}
+	return lo, hi
+}
+
+// RippleInsert inserts the tuple (v, t) into the piece where v belongs,
+// shifting one boundary tuple per subsequent piece (the Ripple algorithm of
+// SIGMOD 2007). The column grows by one; index positions are adjusted.
+// The placement is deterministic: the new tuple lands at the position of
+// the first boundary whose left side v belongs to (i.e. at the end of its
+// piece), and exactly those boundaries shift right by one.
+func (p *Pairs) RippleInsert(v, t Value) {
+	// Boundaries that must end up after the new tuple are exactly those b
+	// with onLeft(v, b). Walk yields them in ascending order; they form a
+	// suffix of the boundary sequence.
+	type bpos struct {
+		b   crackindex.Bound
+		pos int
+	}
+	var bps []bpos
+	p.Idx.Walk(func(b crackindex.Bound, pos int) {
+		if onLeft(v, b) {
+			bps = append(bps, bpos{b, pos})
+		}
+	})
+	p.Head = append(p.Head, 0)
+	p.Tail = append(p.Tail, 0)
+	hole := len(p.Head) - 1
+	for i := len(bps) - 1; i >= 0; i-- {
+		bp := bps[i].pos
+		if bp != hole {
+			p.Head[hole], p.Tail[hole] = p.Head[bp], p.Tail[bp]
+			hole = bp
+		}
+	}
+	p.Head[hole], p.Tail[hole] = v, t
+	for _, e := range bps {
+		p.Idx.Insert(e.b, e.pos+1)
+	}
+}
+
+// RemovePositions deletes the tuples at the given positions (ascending,
+// duplicate-free) and compacts the arrays, shifting index boundaries left.
+func (p *Pairs) RemovePositions(positions []int) {
+	if len(positions) == 0 {
+		return
+	}
+	del := 0
+	next := 0
+	out := 0
+	for i := 0; i < len(p.Head); i++ {
+		if next < len(positions) && positions[next] == i {
+			next++
+			del++
+			continue
+		}
+		if out != i {
+			p.Head[out], p.Tail[out] = p.Head[i], p.Tail[i]
+		}
+		out++
+	}
+	p.Head = p.Head[:out]
+	p.Tail = p.Tail[:out]
+	// Re-position every boundary: subtract the number of deleted positions
+	// before it.
+	type bp struct {
+		b   crackindex.Bound
+		pos int
+	}
+	var all []bp
+	p.Idx.Walk(func(b crackindex.Bound, pos int) { all = append(all, bp{b, pos}) })
+	for _, e := range all {
+		d := sort.SearchInts(positions, e.pos)
+		if d > 0 {
+			p.Idx.Insert(e.b, e.pos-d)
+		}
+	}
+}
+
+// CheckPieces verifies that every index boundary holds physically: values
+// before a boundary are on its left side, values at or after are not.
+// Returns false at the first violation. Used by tests and property checks.
+func (p *Pairs) CheckPieces() bool {
+	ok := true
+	p.Idx.Walk(func(b crackindex.Bound, pos int) {
+		for i := 0; i < pos && ok; i++ {
+			if !onLeft(p.Head[i], b) {
+				ok = false
+			}
+		}
+		for i := pos; i < len(p.Head) && ok; i++ {
+			if onLeft(p.Head[i], b) {
+				ok = false
+			}
+		}
+	})
+	return ok
+}

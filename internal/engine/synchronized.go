@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Synchronized wraps an engine with a mutex. Cracking engines physically
+// reorganize their structures as a side effect of queries — reads are
+// writes — so any concurrent use must be serialized. This mirrors the
+// paper's setting (cracking happens in the critical path of a single
+// query executor) while making the library safe to share across
+// goroutines.
+func Synchronized(e Engine) Engine {
+	if _, ok := e.(*syncEngine); ok {
+		return e
+	}
+	return &syncEngine{e: e}
+}
+
+type syncEngine struct {
+	mu sync.Mutex
+	e  Engine
+}
+
+func (s *syncEngine) Name() string { return s.e.Name() + " (synchronized)" }
+func (s *syncEngine) Kind() Kind   { return s.e.Kind() }
+
+func (s *syncEngine) Query(q Query) (Result, Cost) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Query(q)
+}
+
+func (s *syncEngine) Insert(vals ...Value) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Insert(vals...)
+}
+
+func (s *syncEngine) Delete(key int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.e.Delete(key)
+}
+
+func (s *syncEngine) Prepare(attrs ...string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Prepare(attrs...)
+}
+
+func (s *syncEngine) Storage() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Storage()
+}
+
+func (s *syncEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ji, cost := s.e.JoinInput(preds, joinAttr, projs)
+	inner := ji.Fetch
+	// The fetcher may touch engine state (scan/selcrack read base
+	// columns); keep it under the same lock.
+	ji.Fetch = func(attr string, i int) Value {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return inner(attr, i)
+	}
+	return ji, cost
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tiny()
+	cfg.CSVDir = dir
+	Exp5(cfg)
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no CSV files written: %v", err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != cfg.Queries+1 {
+		t.Fatalf("%d lines, want %d (header + per query)", len(lines), cfg.Queries+1)
+	}
+	if !strings.HasPrefix(lines[0], "query,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestCSVStorageExport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tiny()
+	cfg.Rows = 3000
+	cfg.Queries = 20
+	cfg.CSVDir = dir
+	Fig9(cfg)
+	p := filepath.Join(dir, "fig9d_storage.csv")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("storage CSV missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 21 {
+		t.Fatalf("%d lines, want 21", len(lines))
+	}
+	if !strings.Contains(lines[0], "_tuples") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	got := sanitize("Fig 9(a) unlimited storage")
+	if got != "fig_9_a_unlimited_storage" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

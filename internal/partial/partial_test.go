@@ -1,0 +1,504 @@
+package partial
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"crackstore/internal/store"
+)
+
+type naive struct {
+	rel  *store.Relation
+	dead map[int]bool
+}
+
+func (nv *naive) rows(preds []AttrPred, projs []string, disjunctive bool) [][]Value {
+	var out [][]Value
+	n := nv.rel.NumRows()
+	for i := 0; i < n; i++ {
+		if nv.dead[i] {
+			continue
+		}
+		match := !disjunctive
+		for _, ap := range preds {
+			m := ap.Pred.Matches(nv.rel.MustColumn(ap.Attr).Vals[i])
+			if disjunctive {
+				match = match || m
+			} else {
+				match = match && m
+			}
+		}
+		if !match {
+			continue
+		}
+		row := make([]Value, len(projs))
+		for j, attr := range projs {
+			row[j] = nv.rel.MustColumn(attr).Vals[i]
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func canon(rows [][]Value) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func resultRows(res Result, projs []string) [][]Value {
+	rows := make([][]Value, res.N)
+	for i := 0; i < res.N; i++ {
+		row := make([]Value, len(projs))
+		for j, attr := range projs {
+			row[j] = res.Cols[attr][i]
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func sameRows(got, want [][]Value) bool {
+	g, w := canon(got), canon(want)
+	if len(g) != len(w) {
+		return false
+	}
+	for i := range w {
+		if g[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameRows(t *testing.T, got, want [][]Value, ctx string) {
+	t.Helper()
+	if !sameRows(got, want) {
+		t.Fatalf("%s: got %d rows %v..., want %d rows", ctx, len(got), first3(got), len(want))
+	}
+}
+
+func first3(rows [][]Value) [][]Value {
+	if len(rows) > 3 {
+		return rows[:3]
+	}
+	return rows
+}
+
+func buildRel(rng *rand.Rand, n int, attrs []string, domain int64) *store.Relation {
+	return store.Build("R", n, attrs, func(attr string, row int) Value {
+		return Value(rng.Int63n(domain))
+	})
+}
+
+func TestSelectProjectBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rel := buildRel(rng, 500, []string{"A", "B", "C"}, 100)
+	s := NewStore(rel)
+	nv := &naive{rel: rel, dead: map[int]bool{}}
+	for q := 0; q < 30; q++ {
+		lo := rng.Int63n(100)
+		hi := lo + rng.Int63n(100-lo+1)
+		pred := store.Range(lo, hi)
+		res := s.SelectProject("A", pred, []string{"B", "C"})
+		want := nv.rows([]AttrPred{{Attr: "A", Pred: pred}}, []string{"B", "C"}, false)
+		mustSameRows(t, resultRows(res, []string{"B", "C"}), want, fmt.Sprintf("q%d %v", q, pred))
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksCreatedOnDemandOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rel := buildRel(rng, 1000, []string{"A", "B"}, 1000)
+	s := NewStore(rel)
+	s.SelectProject("A", store.Range(100, 200), []string{"B"})
+	set := s.SetIfExists("A")
+	if set == nil {
+		t.Fatal("set not created")
+	}
+	// Only the requested range (plus possibly empty side areas) should be
+	// materialized: storage must be far below a full map.
+	if got := s.StorageTuples(); got > 350 {
+		t.Fatalf("storage = %d tuples; expected only the ~10%% chunk", got)
+	}
+	if set.NumAreas() == 0 {
+		t.Fatal("no fetched area")
+	}
+}
+
+func TestPartialAlignmentSkipsCoveredChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := buildRel(rng, 2000, []string{"A", "B", "C"}, 1000)
+	s := NewStore(rel)
+	// Fetch [0,1000) for B via a wide query, cracking it several times.
+	s.SelectProject("A", store.Range(0, 1000), []string{"B"})
+	s.SelectProject("A", store.Range(100, 900), []string{"B"})
+	s.SelectProject("A", store.Range(200, 800), []string{"B"})
+	set := s.SetIfExists("A")
+	// Now query the full range again with C: the interior area is fully
+	// covered, so the fresh C chunks must NOT be forced to the tape end of
+	// heavily cracked areas when used as covered chunks.
+	res := s.SelectProject("A", store.Range(0, 1000), []string{"C"})
+	nv := &naive{rel: rel, dead: map[int]bool{}}
+	want := nv.rows([]AttrPred{{Attr: "A", Pred: store.Range(0, 1000)}}, []string{"C"}, false)
+	mustSameRows(t, resultRows(res, []string{"C"}), want, "covered query")
+	// The covered middle area's C chunk should have cursor 0 (no cracks
+	// replayed) while its B chunk sits at the area tape end.
+	lazyFound := false
+	for _, w := range set.areas {
+		cb, okB := w.chunks["B"]
+		cc, okC := w.chunks["C"]
+		if okB && okC && cc.cursor < cb.cursor {
+			lazyFound = true
+		}
+	}
+	if !lazyFound {
+		t.Fatal("expected at least one C chunk lazily aligned behind its B sibling")
+	}
+}
+
+// Property: partial SelectProject agrees with naive scan under random
+// query sequences, including multi-projection row alignment.
+func TestQuickSelectProject(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := buildRel(rng, 300, []string{"A", "B", "C", "D"}, 80)
+		s := NewStore(rel)
+		nv := &naive{rel: rel, dead: map[int]bool{}}
+		projSets := [][]string{{"B"}, {"B", "C"}, {"C", "D"}, {"B", "C", "D"}}
+		for q := 0; q < 25; q++ {
+			lo := rng.Int63n(80)
+			hi := lo + rng.Int63n(80-lo+1)
+			pred := store.Pred{Lo: lo, Hi: hi, LoIncl: rng.Intn(2) == 0, HiIncl: rng.Intn(2) == 0}
+			projs := projSets[rng.Intn(len(projSets))]
+			res := s.SelectProject("A", pred, projs)
+			if !sameRows(resultRows(res, projs), nv.rows([]AttrPred{{Attr: "A", Pred: pred}}, projs, false)) {
+				return false
+			}
+		}
+		return s.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conjunctive and disjunctive multi-selections agree with naive.
+func TestQuickMultiSelect(t *testing.T) {
+	f := func(seed int64, disjunctive bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := buildRel(rng, 250, []string{"A", "B", "C", "D"}, 60)
+		s := NewStore(rel)
+		nv := &naive{rel: rel, dead: map[int]bool{}}
+		attrs := []string{"A", "B", "C"}
+		for q := 0; q < 12; q++ {
+			nPred := 1 + rng.Intn(3)
+			var preds []AttrPred
+			seen := map[string]bool{}
+			for len(preds) < nPred {
+				attr := attrs[rng.Intn(len(attrs))]
+				if seen[attr] {
+					continue
+				}
+				seen[attr] = true
+				lo := rng.Int63n(60)
+				hi := lo + rng.Int63n(60-lo+1)
+				preds = append(preds, AttrPred{Attr: attr, Pred: store.Range(lo, hi)})
+			}
+			projs := []string{"D", "A"}
+			res := s.MultiSelect(preds, projs, disjunctive)
+			if !sameRows(resultRows(res, projs), nv.rows(preds, projs, disjunctive)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved updates and queries stay correct (area tapes with
+// insert/delete entries, key chunks, pending push-back on unfetch).
+func TestQuickUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := buildRel(rng, 200, []string{"A", "B", "C"}, 50)
+		s := NewStore(rel)
+		nv := &naive{rel: rel, dead: map[int]bool{}}
+		var live []int
+		for i := 0; i < 200; i++ {
+			live = append(live, i)
+		}
+		for step := 0; step < 50; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				k := s.Insert(Value(rng.Int63n(50)), Value(rng.Int63n(50)), Value(rng.Int63n(50)))
+				live = append(live, k)
+			case 1:
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					k := live[i]
+					live = append(live[:i], live[i+1:]...)
+					s.Delete(k)
+					nv.dead[k] = true
+				}
+			default:
+				lo := rng.Int63n(50)
+				hi := lo + rng.Int63n(50-lo+1)
+				pred := store.Range(lo, hi)
+				projs := []string{"B", "C"}
+				res := s.SelectProject("A", pred, projs)
+				if !sameRows(resultRows(res, projs), nv.rows([]AttrPred{{Attr: "A", Pred: pred}}, projs, false)) {
+					return false
+				}
+			}
+		}
+		return s.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetEvictionAndRecreation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rel := buildRel(rng, 1000, []string{"A", "B", "C", "D", "E"}, 1000)
+	s := NewStore(rel)
+	s.Budget = 700
+	nv := &naive{rel: rel, dead: map[int]bool{}}
+	// Cycle through attributes so chunks must be dropped and recreated.
+	projCycle := [][]string{{"B"}, {"C"}, {"D"}, {"E"}, {"B", "C"}, {"D", "E"}}
+	for q := 0; q < 40; q++ {
+		lo := rng.Int63n(1000)
+		hi := lo + rng.Int63n(1000-lo+1)
+		pred := store.Range(lo, hi)
+		projs := projCycle[q%len(projCycle)]
+		res := s.SelectProject("A", pred, projs)
+		want := nv.rows([]AttrPred{{Attr: "A", Pred: pred}}, projs, false)
+		mustSameRows(t, resultRows(res, projs), want, fmt.Sprintf("q%d", q))
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetEvictionWithUpdates(t *testing.T) {
+	// Un-fetching an area whose tape holds update entries must push them
+	// back to pending so they reapply on refetch.
+	rng := rand.New(rand.NewSource(6))
+	rel := buildRel(rng, 400, []string{"A", "B", "C"}, 100)
+	s := NewStore(rel)
+	s.Budget = 300
+	nv := &naive{rel: rel, dead: map[int]bool{}}
+	var live []int
+	for i := 0; i < 400; i++ {
+		live = append(live, i)
+	}
+	for step := 0; step < 120; step++ {
+		switch step % 4 {
+		case 0:
+			k := s.Insert(Value(rng.Int63n(100)), Value(rng.Int63n(100)), Value(rng.Int63n(100)))
+			live = append(live, k)
+		case 1:
+			i := rng.Intn(len(live))
+			k := live[i]
+			live = append(live[:i], live[i+1:]...)
+			s.Delete(k)
+			nv.dead[k] = true
+		default:
+			lo := rng.Int63n(100)
+			hi := lo + rng.Int63n(100-lo+1)
+			pred := store.Range(lo, hi)
+			projs := []string{"B"}
+			if step%3 == 0 {
+				projs = []string{"C"}
+			}
+			res := s.SelectProject("A", pred, projs)
+			want := nv.rows([]AttrPred{{Attr: "A", Pred: pred}}, projs, false)
+			mustSameRows(t, resultRows(res, projs), want, fmt.Sprintf("step %d", step))
+		}
+	}
+}
+
+func TestHeadDropAndRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rel := buildRel(rng, 1000, []string{"A", "B"}, 500)
+	s := NewStore(rel)
+	nv := &naive{rel: rel, dead: map[int]bool{}}
+	// Crack a few times, then force head drop.
+	s.SelectProject("A", store.Range(0, 500), []string{"B"})
+	s.SelectProject("A", store.Range(100, 400), []string{"B"})
+	s.DropHead()
+	before := s.StorageTuples()
+	// A covered query must work without the head.
+	res := s.SelectProject("A", store.Range(100, 400), []string{"B"})
+	want := nv.rows([]AttrPred{{Attr: "A", Pred: store.Range(100, 400)}}, []string{"B"}, false)
+	mustSameRows(t, resultRows(res, []string{"B"}), want, "covered, head dropped")
+	if s.StorageTuples() != before {
+		t.Fatal("covered query should not recover heads")
+	}
+	// A query needing a new crack must recover the head and stay correct.
+	res = s.SelectProject("A", store.Range(150, 350), []string{"B"})
+	want = nv.rows([]AttrPred{{Attr: "A", Pred: store.Range(150, 350)}}, []string{"B"}, false)
+	mustSameRows(t, resultRows(res, []string{"B"}), want, "crack after head drop")
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadRecoveryFromSibling(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rel := buildRel(rng, 600, []string{"A", "B", "C"}, 300)
+	s := NewStore(rel)
+	// Align B and C chunks to identical cursors.
+	s.SelectProject("A", store.Range(0, 300), []string{"B", "C"})
+	s.SelectProject("A", store.Range(50, 250), []string{"B", "C"})
+	// Drop only B's head by hand.
+	set := s.SetIfExists("A")
+	var dropped *chunk
+	for _, w := range set.areas {
+		if c, ok := w.chunks["B"]; ok && c.Len() > 0 {
+			c.p.Head = nil
+			c.headDropped = true
+			dropped = c
+			break
+		}
+	}
+	if dropped == nil {
+		t.Fatal("no chunk to drop")
+	}
+	// Next crack recovers from the same-cursor C sibling.
+	res := s.SelectProject("A", store.Range(80, 220), []string{"B", "C"})
+	nv := &naive{rel: rel, dead: map[int]bool{}}
+	want := nv.rows([]AttrPred{{Attr: "A", Pred: store.Range(80, 220)}}, []string{"B", "C"}, false)
+	mustSameRows(t, resultRows(res, []string{"B", "C"}), want, "sibling recovery")
+	if dropped.headDropped {
+		t.Fatal("head not recovered")
+	}
+}
+
+func TestAutomaticHeadDropOnCacheResidentPieces(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rel := buildRel(rng, 2000, []string{"A", "B"}, 2000)
+	s := NewStore(rel)
+	s.CachedPieceTuples = 256
+	nv := &naive{rel: rel, dead: map[int]bool{}}
+	// Many queries over one hot range shrink pieces below the threshold.
+	for q := 0; q < 60; q++ {
+		lo := rng.Int63n(1000)
+		hi := lo + 1 + rng.Int63n(200)
+		pred := store.Range(lo, hi)
+		res := s.SelectProject("A", pred, []string{"B"})
+		want := nv.rows([]AttrPred{{Attr: "A", Pred: pred}}, []string{"B"}, false)
+		mustSameRows(t, resultRows(res, []string{"B"}), want, fmt.Sprintf("q%d", q))
+	}
+	droppedAny := false
+	for _, w := range s.SetIfExists("A").areas {
+		for _, c := range w.chunks {
+			if c.headDropped {
+				droppedAny = true
+			}
+		}
+	}
+	if !droppedAny {
+		t.Fatal("expected some heads dropped under CachedPieceTuples policy")
+	}
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	rel := buildRel(rng, 1000, []string{"A", "B"}, 1000)
+	s := NewStore(rel)
+	pred := store.Range(200, 400)
+	est0 := s.EstimateSelectivity("A", pred)
+	if est0 <= 0 || est0 > 1000 {
+		t.Fatalf("fallback estimate = %d", est0)
+	}
+	s.SelectProject("A", pred, []string{"B"})
+	truth := store.SelectCount(rel.MustColumn("A"), pred)
+	est1 := s.EstimateSelectivity("A", pred)
+	if est1 != truth {
+		t.Fatalf("post-fetch estimate = %d, want %d", est1, truth)
+	}
+}
+
+func TestEmptyPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rel := buildRel(rng, 100, []string{"A", "B"}, 50)
+	s := NewStore(rel)
+	res := s.SelectProject("A", store.Open(10, 10), []string{"B"})
+	if res.N != 0 {
+		t.Fatalf("empty predicate returned %d rows", res.N)
+	}
+}
+
+func BenchmarkPartialSelectProject(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rel := store.Build("R", 1<<16, []string{"A", "B", "C"}, func(string, int) Value {
+		return Value(rng.Int63n(1 << 16))
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := NewStore(rel)
+		b.StartTimer()
+		for q := 0; q < 50; q++ {
+			lo := rng.Int63n(1 << 16)
+			s.SelectProject("A", store.Range(lo, lo+(1<<13)), []string{"B", "C"})
+		}
+	}
+}
+
+// Property: disjunctive multi-selections agree with naive under interleaved
+// updates (locks in the FullRange merge behavior).
+func TestQuickDisjunctiveWithUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := buildRel(rng, 200, []string{"A", "B", "C"}, 50)
+		s := NewStore(rel)
+		nv := &naive{rel: rel, dead: map[int]bool{}}
+		var live []int
+		for i := 0; i < 200; i++ {
+			live = append(live, i)
+		}
+		for step := 0; step < 30; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				k := s.Insert(Value(rng.Int63n(50)), Value(rng.Int63n(50)), Value(rng.Int63n(50)))
+				live = append(live, k)
+			case 1:
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					k := live[i]
+					live = append(live[:i], live[i+1:]...)
+					s.Delete(k)
+					nv.dead[k] = true
+				}
+			default:
+				lo1, lo2 := rng.Int63n(50), rng.Int63n(50)
+				preds := []AttrPred{
+					{Attr: "A", Pred: store.Range(lo1, lo1+10)},
+					{Attr: "B", Pred: store.Range(lo2, lo2+10)},
+				}
+				res := s.MultiSelect(preds, []string{"C"}, true)
+				if !sameRows(resultRows(res, []string{"C"}), nv.rows(preds, []string{"C"}, true)) {
+					return false
+				}
+			}
+		}
+		return s.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

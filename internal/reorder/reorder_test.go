@@ -1,0 +1,117 @@
+package reorder
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSort(t *testing.T) {
+	in := []int{5, 1, 3, 2}
+	out := Sort(in)
+	if !sort.IntsAreSorted(out) {
+		t.Fatal("not sorted")
+	}
+	if in[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRadixClusterPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	keys := make([]int, 3000)
+	for i := range keys {
+		keys[i] = rng.Intn(n)
+	}
+	out := RadixCluster(keys, 256, n)
+	a := append([]int(nil), keys...)
+	b := append([]int(nil), out...)
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("multiset changed")
+		}
+	}
+}
+
+// Property: after clustering, cluster ids are non-decreasing and within a
+// cluster the original relative order is preserved (stable).
+func TestQuickRadixClusterOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1000 + rng.Intn(5000)
+		span := 1 + rng.Intn(500)
+		keys := make([]int, rng.Intn(2000))
+		for i := range keys {
+			keys[i] = rng.Intn(n)
+		}
+		out := RadixCluster(keys, span, n)
+		prevCluster := -1
+		for _, k := range out {
+			c := k / span
+			if c < prevCluster {
+				return false
+			}
+			prevCluster = c
+		}
+		// Stability: filter both sequences per cluster and compare.
+		perCluster := map[int][]int{}
+		for _, k := range keys {
+			perCluster[k/span] = append(perCluster[k/span], k)
+		}
+		i := 0
+		for i < len(out) {
+			c := out[i] / span
+			want := perCluster[c]
+			for j := 0; j < len(want); j++ {
+				if out[i+j] != want[j] {
+					return false
+				}
+			}
+			i += len(want)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixClusterSingleCluster(t *testing.T) {
+	keys := []int{3, 1, 2}
+	out := RadixCluster(keys, 100, 50)
+	for i := range keys {
+		if out[i] != keys[i] {
+			t.Fatal("single-cluster case should preserve order")
+		}
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Intn(1 << 18)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sort(keys)
+	}
+}
+
+func BenchmarkRadixCluster(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Intn(1 << 18)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RadixCluster(keys, 4096, 1<<18)
+	}
+}

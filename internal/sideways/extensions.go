@@ -1,0 +1,210 @@
+package sideways
+
+import (
+	"math"
+
+	"crackstore/internal/crackindex"
+	"crackstore/internal/store"
+)
+
+// This file implements the operator extensions Section 3.4 sketches as
+// natural beneficiaries of the clustering information in cracker maps:
+// aggregates that read only the relevant end pieces ("a max can consider
+// only the last piece of a map") and a partitioned cracker join ("a join
+// can be performed in a partitioned like way exploiting disjoint ranges in
+// the input maps").
+
+// fullPred matches every tuple.
+var fullPred = store.Pred{Lo: math.MinInt64, Hi: math.MaxInt64, LoIncl: true, HiIncl: true}
+
+// MergePendingAll converts every pending insertion and deletion of the set
+// into tape entries, regardless of value range. Plans that read whole maps
+// (disjunctions) call this before querying.
+func (set *Set) MergePendingAll() { set.mergePending(fullPred) }
+
+// MaxAttr returns the maximum live value of attr. When a cracker map for
+// the attribute exists, only the last non-empty piece (plus merged pending
+// updates) is inspected instead of the whole column.
+func (s *Store) MaxAttr(attr string) (Value, bool) {
+	return s.extremeAttr(attr, true)
+}
+
+// MinAttr returns the minimum live value of attr, reading only the first
+// non-empty piece of an existing cracker map.
+func (s *Store) MinAttr(attr string) (Value, bool) {
+	return s.extremeAttr(attr, false)
+}
+
+func (s *Store) extremeAttr(attr string, wantMax bool) (Value, bool) {
+	set := s.sets[attr]
+	if set == nil || (len(set.maps) == 0 && set.keyMap == nil) {
+		return s.scanExtreme(attr, wantMax)
+	}
+	m := set.MostAlignedMap()
+	if m == nil {
+		m = set.keyMap
+	}
+	// Collect the piece boundaries of the most aligned map. Values ascend
+	// across pieces, so the extreme lives in the outermost non-empty piece
+	// after pending updates for that range are merged.
+	type bp struct {
+		b   crackindex.Bound
+		pos int
+	}
+	var bounds []bp
+	m.pairs.Idx.Walk(func(b crackindex.Bound, pos int) { bounds = append(bounds, bp{b, pos}) })
+	if len(bounds) == 0 {
+		return s.scanExtreme(attr, wantMax)
+	}
+	// Probe pieces from the relevant end inward. Each probe issues a
+	// set-level query for the piece's value range so pending updates merge
+	// and alignment stays correct; the probed area is the piece only.
+	for i := range bounds {
+		var pred store.Pred
+		if wantMax {
+			b := bounds[len(bounds)-1-i].b
+			pred = store.Pred{Lo: b.V, Hi: math.MaxInt64, LoIncl: b.Incl, HiIncl: true}
+		} else {
+			b := bounds[i].b
+			pred = store.Pred{Lo: math.MinInt64, Hi: b.V, LoIncl: true, HiIncl: !b.Incl}
+		}
+		if v, ok := s.pieceExtreme(set, pred, wantMax); ok {
+			return v, true
+		}
+	}
+	// Every piece probe came back empty: fall back to the full range.
+	return s.pieceExtreme(set, fullPred, wantMax)
+}
+
+// pieceExtreme queries one value range on the set's most aligned map and
+// reduces its head values.
+func (s *Store) pieceExtreme(set *Set, pred store.Pred, wantMax bool) (Value, bool) {
+	m := set.MostAlignedMap()
+	tail := ""
+	if m != nil {
+		tail = m.tailAttr
+	}
+	lo, hi, used := set.Query(pred, []string{tail})
+	if hi <= lo {
+		return 0, false
+	}
+	head := used[0].pairs.Head[lo:hi]
+	best := head[0]
+	for _, v := range head[1:] {
+		if wantMax && v > best || !wantMax && v < best {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// scanExtreme is the fallback when no cracking knowledge exists: a full
+// scan of the base column skipping tombstoned tuples, plus pending state
+// is irrelevant because base columns are append-only and tombstones are
+// global.
+func (s *Store) scanExtreme(attr string, wantMax bool) (Value, bool) {
+	col := s.rel.MustColumn(attr)
+	found := false
+	var best Value
+	for key, v := range col.Vals {
+		if s.tombstones[key] {
+			continue
+		}
+		if !found || (wantMax && v > best) || (!wantMax && v < best) {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// KeyPair is one cracker-join match: the tuple keys of the left and right
+// inputs.
+type KeyPair struct {
+	LKey, RKey Value
+}
+
+// CrackerJoin joins ls.lAttr = rs.rAttr and returns matching key pairs.
+// Instead of building one hash table over a full column, it range-
+// partitions both sides by cracking their key maps on shared boundaries —
+// disjoint ranges join independently with cache-sized hash tables, and the
+// partitioning work is retained as cracking knowledge for future queries
+// (Section 3.4's "partitioned like way" join).
+func CrackerJoin(ls *Store, lAttr string, rs *Store, rAttr string, parts int) []KeyPair {
+	if parts < 1 {
+		parts = 1
+	}
+	lLo, lHi := ls.colStats(lAttr)
+	rLo, rHi := rs.colStats(rAttr)
+	lo, hi := lLo, lHi
+	if rLo < lo {
+		lo = rLo
+	}
+	if rHi > hi {
+		hi = rHi
+	}
+	var out []KeyPair
+	if hi < lo {
+		return out
+	}
+	width := (hi - lo + Value(parts)) / Value(parts)
+	if width < 1 {
+		width = 1
+	}
+	lSet := ls.Set(lAttr)
+	rSet := rs.Set(rAttr)
+	for p := 0; p < parts; p++ {
+		plo := lo + Value(p)*width
+		phi := plo + width
+		pred := store.Pred{Lo: plo, Hi: phi, LoIncl: true, HiIncl: false}
+		if p == parts-1 {
+			pred.Hi = hi
+			pred.HiIncl = true
+		}
+		la, lb, lm := lSet.QueryKeys(pred)
+		ra, rb, rm := rSet.QueryKeys(pred)
+		if lb <= la || rb <= ra {
+			continue
+		}
+		// Hash join within the partition: build on the smaller side.
+		lHead, lTail := lm.pairs.Head[la:lb], lm.pairs.Tail[la:lb]
+		rHead, rTail := rm.pairs.Head[ra:rb], rm.pairs.Tail[ra:rb]
+		if len(lHead) <= len(rHead) {
+			ht := make(map[Value][]Value, len(lHead))
+			for i, v := range lHead {
+				ht[v] = append(ht[v], lTail[i])
+			}
+			for i, v := range rHead {
+				for _, lk := range ht[v] {
+					out = append(out, KeyPair{LKey: lk, RKey: rTail[i]})
+				}
+			}
+		} else {
+			ht := make(map[Value][]Value, len(rHead))
+			for i, v := range rHead {
+				ht[v] = append(ht[v], rTail[i])
+			}
+			for i, v := range lHead {
+				for _, rk := range ht[v] {
+					out = append(out, KeyPair{LKey: lTail[i], RKey: rk})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QueryKeys runs the set-level sideways select over the key map M_Akey:
+// it merges pending updates, cracks, aligns, and returns the qualifying
+// area of the aligned key map (head = attribute values, tail = keys).
+func (set *Set) QueryKeys(pred store.Pred) (lo, hi int, m *Map) {
+	if set.keyMap == nil {
+		set.keyMap = set.newMap("")
+	}
+	set.mergePending(pred)
+	set.tape = append(set.tape, entry{kind: entryCrack, pred: pred})
+	set.replay(set.keyMap, len(set.tape))
+	set.keyMap.access++
+	lo, hi = areaOf(set.keyMap, pred)
+	return lo, hi, set.keyMap
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredMatches(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    Value
+		want bool
+	}{
+		{Open(10, 20), 10, false},
+		{Open(10, 20), 11, true},
+		{Open(10, 20), 19, true},
+		{Open(10, 20), 20, false},
+		{Range(10, 20), 10, true},
+		{Range(10, 20), 20, false},
+		{Point(7), 7, true},
+		{Point(7), 8, false},
+		{Pred{10, 20, true, true}, 20, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.v); got != c.want {
+			t.Errorf("%v.Matches(%d) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestPredBounds(t *testing.T) {
+	p := Open(10, 20) // 10 < A < 20
+	lb, ub := p.LowerBound(), p.UpperBound()
+	if lb.V != 10 || lb.Incl {
+		t.Errorf("LowerBound of %v = %v, want >10", p, lb)
+	}
+	if ub.V != 20 || !ub.Incl {
+		t.Errorf("UpperBound of %v = %v, want >=20", p, ub)
+	}
+	q := Range(10, 20) // 10 <= A < 20
+	lb, ub = q.LowerBound(), q.UpperBound()
+	if lb.V != 10 || !lb.Incl {
+		t.Errorf("LowerBound of %v = %v, want >=10", q, lb)
+	}
+	if ub.V != 20 || !ub.Incl {
+		t.Errorf("UpperBound of %v = %v, want >=20", q, ub)
+	}
+}
+
+func TestRelationBuildAndAccess(t *testing.T) {
+	r := Build("R", 5, []string{"A", "B"}, func(attr string, row int) Value {
+		if attr == "A" {
+			return Value(row)
+		}
+		return Value(row * 10)
+	})
+	if r.NumRows() != 5 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	if r.Column("A").Vals[3] != 3 || r.Column("B").Vals[3] != 30 {
+		t.Fatal("wrong values")
+	}
+	if r.Column("C") != nil {
+		t.Fatal("nonexistent column should be nil")
+	}
+}
+
+func TestMustColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRelation("R", "A").MustColumn("Z")
+}
+
+func TestAppendAndDeleteRows(t *testing.T) {
+	r := NewRelation("R", "A", "B")
+	r.AppendRow(1, 10)
+	r.AppendRow(2, 20)
+	r.AppendRow(3, 30)
+	if r.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	r.DeleteRows([]int{1})
+	if r.NumRows() != 2 {
+		t.Fatalf("NumRows after delete = %d", r.NumRows())
+	}
+	if r.Column("A").Vals[1] != 3 || r.Column("B").Vals[1] != 30 {
+		t.Fatal("delete broke alignment")
+	}
+}
+
+func TestSelectOrderPreserving(t *testing.T) {
+	col := NewColumn("A", []Value{5, 1, 9, 3, 7, 2})
+	pos := Select(col, Range(2, 8))
+	want := []int{0, 3, 4, 5}
+	if len(pos) != len(want) {
+		t.Fatalf("Select = %v, want %v", pos, want)
+	}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("Select = %v, want %v", pos, want)
+		}
+	}
+	if SelectCount(col, Range(2, 8)) != 4 {
+		t.Fatal("SelectCount mismatch")
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	col := NewColumn("B", []Value{10, 11, 12, 13})
+	got := Reconstruct(col, []int{3, 0, 2})
+	if got[0] != 13 || got[1] != 10 || got[2] != 12 {
+		t.Fatalf("Reconstruct = %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	l := []Value{1, 2, 3, 2}
+	r := []Value{2, 4, 2}
+	pairs := Join(l, r)
+	// l[1]=2 matches r[0],r[2]; l[3]=2 matches r[0],r[2].
+	if len(pairs) != 4 {
+		t.Fatalf("Join produced %d pairs, want 4", len(pairs))
+	}
+	// Outer (left) order must be preserved.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].L < pairs[i-1].L {
+			t.Fatal("Join did not preserve outer order")
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	groups := GroupBy([]Value{3, 1, 3, 2, 1})
+	if len(groups) != 3 {
+		t.Fatalf("GroupBy = %d groups, want 3", len(groups))
+	}
+	if groups[0].Key != 1 || groups[1].Key != 2 || groups[2].Key != 3 {
+		t.Fatal("groups not sorted by key")
+	}
+	if len(groups[0].Members) != 2 || groups[0].Members[0] != 1 || groups[0].Members[1] != 4 {
+		t.Fatalf("group 1 members = %v", groups[0].Members)
+	}
+}
+
+func TestOrderByStable(t *testing.T) {
+	idx := OrderBy([]Value{3, 1, 3, 1})
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("OrderBy = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	vals := []Value{4, -2, 9, 0}
+	if m, ok := Max(vals); !ok || m != 9 {
+		t.Errorf("Max = %d,%v", m, ok)
+	}
+	if m, ok := Min(vals); !ok || m != -2 {
+		t.Errorf("Min = %d,%v", m, ok)
+	}
+	if s := Sum(vals); s != 11 {
+		t.Errorf("Sum = %d", s)
+	}
+	if _, ok := Max(nil); ok {
+		t.Error("Max of empty should report !ok")
+	}
+}
+
+// Property: Select + Reconstruct on the selection column returns exactly the
+// matching values, in insertion order.
+func TestQuickSelectReconstruct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(400)
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = Value(rng.Intn(1000))
+		}
+		col := NewColumn("A", vals)
+		lo := Value(rng.Intn(1000))
+		hi := lo + Value(rng.Intn(500))
+		p := Range(lo, hi)
+		pos := Select(col, p)
+		rec := Reconstruct(col, pos)
+		want := 0
+		for _, v := range vals {
+			if p.Matches(v) {
+				want++
+			}
+		}
+		if len(rec) != want {
+			return false
+		}
+		for _, v := range rec {
+			if !p.Matches(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Join output size equals the sum over join keys of |L_k|*|R_k|.
+func TestQuickJoinCardinality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := make([]Value, rng.Intn(200))
+		r := make([]Value, rng.Intn(200))
+		for i := range l {
+			l[i] = Value(rng.Intn(20))
+		}
+		for i := range r {
+			r[i] = Value(rng.Intn(20))
+		}
+		lc := map[Value]int{}
+		rc := map[Value]int{}
+		for _, v := range l {
+			lc[v]++
+		}
+		for _, v := range r {
+			rc[v]++
+		}
+		want := 0
+		for k, c := range lc {
+			want += c * rc[k]
+		}
+		return len(Join(l, r)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]Value, 1<<18)
+	for i := range vals {
+		vals[i] = Value(rng.Intn(1 << 18))
+	}
+	col := NewColumn("A", vals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(col, Range(1000, 1<<16))
+	}
+}
+
+func BenchmarkReconstructOrdered(b *testing.B) {
+	vals := make([]Value, 1<<18)
+	pos := make([]int, 1<<17)
+	for i := range pos {
+		pos[i] = i * 2
+	}
+	col := NewColumn("A", vals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reconstruct(col, pos)
+	}
+}
+
+func BenchmarkReconstructRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]Value, 1<<18)
+	pos := make([]int, 1<<17)
+	for i := range pos {
+		pos[i] = rng.Intn(1 << 18)
+	}
+	col := NewColumn("A", vals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reconstruct(col, pos)
+	}
+}

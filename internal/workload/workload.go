@@ -1,0 +1,109 @@
+// Package workload generates the query and update streams used by the
+// paper's experiments: uniform random range queries with controlled
+// selectivity or result size, point queries, skewed (hot-set) workloads,
+// batch-cycling multi-attribute query mixes, and the HFLV/LFHV update
+// scenarios of Exp6.
+package workload
+
+import (
+	"math/rand"
+
+	"crackstore/internal/store"
+)
+
+// Value aliases the kernel value type.
+type Value = store.Value
+
+// Gen produces predicates over an integer value domain [1, Domain].
+type Gen struct {
+	rng    *rand.Rand
+	Domain int64
+}
+
+// New returns a generator with its own deterministic source.
+func New(domain int64, seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), Domain: domain}
+}
+
+// Range returns a uniformly located range predicate covering frac of the
+// domain (selectivity frac under uniform data).
+func (g *Gen) Range(frac float64) store.Pred {
+	return g.RangeIn(1, g.Domain, frac)
+}
+
+// RangeIn returns a range predicate of width frac*Domain located uniformly
+// within [lo, hi].
+func (g *Gen) RangeIn(lo, hi int64, frac float64) store.Pred {
+	width := int64(float64(g.Domain) * frac)
+	if width < 1 {
+		width = 1
+	}
+	span := hi - lo - width
+	start := lo
+	if span > 0 {
+		start = lo + g.rng.Int63n(span+1)
+	}
+	return store.Range(start, start+width)
+}
+
+// RangeForResultSize returns a range predicate expected to select s tuples
+// from a column of n uniform values over the domain.
+func (g *Gen) RangeForResultSize(s, n int) store.Pred {
+	return g.Range(float64(s) / float64(n))
+}
+
+// Point returns a random point predicate.
+func (g *Gen) Point() store.Pred {
+	return store.Point(1 + g.rng.Int63n(g.Domain))
+}
+
+// Skewed returns a range predicate of the given fraction that falls in the
+// hot region [1, hotFrac*Domain] with probability hotProb, else in the cold
+// remainder (Exp5 uses hotFrac=0.5, hotProb=0.9; Fig 10(b) uses 0.2/0.9).
+func (g *Gen) Skewed(frac, hotFrac, hotProb float64) store.Pred {
+	hotHi := int64(float64(g.Domain) * hotFrac)
+	if g.rng.Float64() < hotProb {
+		return g.RangeIn(1, hotHi, frac)
+	}
+	return g.RangeIn(hotHi+1, g.Domain, frac)
+}
+
+// Values returns n uniform random values in [1, Domain]; used to build
+// columns and update tuples.
+func (g *Gen) Values(n int) []Value {
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = 1 + g.rng.Int63n(g.Domain)
+	}
+	return out
+}
+
+// Value returns one uniform random value in [1, Domain].
+func (g *Gen) Value() Value { return 1 + g.rng.Int63n(g.Domain) }
+
+// Intn exposes the underlying source for auxiliary choices (batch picks).
+func (g *Gen) Intn(n int) int { return g.rng.Intn(n) }
+
+// UpdateScenario describes the update experiments of Exp6 (Section 3.6):
+// every Frequency queries, Volume random updates arrive. An update is a
+// deletion of a random live tuple plus an insertion of a random new one.
+type UpdateScenario struct {
+	Name      string
+	Frequency int // queries between update batches
+	Volume    int // updates per batch
+}
+
+// HFLV is the high-frequency, low-volume scenario: 10 updates every 10
+// queries.
+var HFLV = UpdateScenario{Name: "HFLV", Frequency: 10, Volume: 10}
+
+// LFHV is the low-frequency, high-volume scenario: 1000 updates every 1000
+// queries.
+var LFHV = UpdateScenario{Name: "LFHV", Frequency: 1000, Volume: 1000}
+
+// BatchCycle deterministically yields the query-type index for query q when
+// cycling through nTypes in batches of batchLen (the Q1..Q5 pattern of the
+// Section 4.2 experiments).
+func BatchCycle(q, batchLen, nTypes int) int {
+	return (q / batchLen) % nTypes
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeWidth(t *testing.T) {
+	g := New(10000, 1)
+	for i := 0; i < 100; i++ {
+		p := g.Range(0.2)
+		if p.Hi-p.Lo != 2000 {
+			t.Fatalf("width = %d, want 2000", p.Hi-p.Lo)
+		}
+		if p.Lo < 1 || p.Hi > 10001 {
+			t.Fatalf("range [%d,%d) outside domain", p.Lo, p.Hi)
+		}
+	}
+}
+
+func TestRangeForResultSize(t *testing.T) {
+	g := New(1000000, 2)
+	p := g.RangeForResultSize(10000, 1000000)
+	if p.Hi-p.Lo != 10000 {
+		t.Fatalf("width = %d, want 10000", p.Hi-p.Lo)
+	}
+}
+
+func TestSkewedHotProbability(t *testing.T) {
+	g := New(10000, 3)
+	hot := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		p := g.Skewed(0.05, 0.5, 0.9)
+		if p.Hi <= 5001 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(n)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestPointAndValues(t *testing.T) {
+	g := New(100, 4)
+	p := g.Point()
+	if p.Lo != p.Hi || !p.LoIncl || !p.HiIncl {
+		t.Fatalf("Point = %+v", p)
+	}
+	vs := g.Values(50)
+	for _, v := range vs {
+		if v < 1 || v > 100 {
+			t.Fatalf("value %d outside domain", v)
+		}
+	}
+}
+
+func TestBatchCycle(t *testing.T) {
+	cases := []struct{ q, batch, types, want int }{
+		{0, 100, 5, 0}, {99, 100, 5, 0}, {100, 100, 5, 1},
+		{499, 100, 5, 4}, {500, 100, 5, 0}, {999, 100, 5, 4},
+	}
+	for _, c := range cases {
+		if got := BatchCycle(c.q, c.batch, c.types); got != c.want {
+			t.Errorf("BatchCycle(%d,%d,%d) = %d, want %d", c.q, c.batch, c.types, got, c.want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(1000, 42)
+	b := New(1000, 42)
+	for i := 0; i < 20; i++ {
+		if a.Range(0.1) != b.Range(0.1) {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+// Property: generated ranges always lie within the requested window.
+func TestQuickRangeIn(t *testing.T) {
+	f := func(seed int64) bool {
+		g := New(10000, seed)
+		for i := 0; i < 20; i++ {
+			p := g.RangeIn(2000, 8000, 0.05)
+			if p.Lo < 2000 || p.Hi > 8001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
