@@ -29,6 +29,16 @@
 // All support the same insert/delete API; cracking engines merge updates
 // lazily with the Ripple algorithm (SIGMOD 2007).
 //
+// All cracking engines share one kernel (internal/crack). A range selection
+// whose bounds fall into the same uncracked piece — always the case for the
+// first query on a cold column — is resolved by a single-pass crack-in-three
+// partition rather than two crack-in-two traversals, and pending insertions
+// are merged in batches (one boundary walk and one piece-wise ripple per
+// batch instead of one per tuple). Both fast paths are deterministic pure
+// functions of (piece contents, operation), which preserves the alignment
+// invariant sideways cracking depends on: maps that replay the same cracker
+// tape stay physically identical.
+//
 // The cmd/crackbench and cmd/tpchbench tools regenerate every table and
 // figure of the paper's evaluation; see DESIGN.md for the experiment index
 // and EXPERIMENTS.md for measured results.

@@ -1,0 +1,3 @@
+module crackstore
+
+go 1.22

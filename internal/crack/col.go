@@ -1,8 +1,6 @@
 package crack
 
 import (
-	"sort"
-
 	"crackstore/internal/store"
 )
 
@@ -66,20 +64,23 @@ func (c *Col) Delete(key int) {
 }
 
 // mergePendingInserts ripple-inserts every pending tuple whose value matches
-// pred, in arrival order (deterministic).
+// pred, in arrival order (deterministic), batched into a single pass.
 func (c *Col) mergePendingInserts(pred store.Pred) {
 	if len(c.pendIns) == 0 {
 		return
 	}
+	var vals, keys []Value
 	rest := c.pendIns[:0]
 	for _, t := range c.pendIns {
 		if pred.Matches(t.val) {
-			c.P.RippleInsert(t.val, t.key)
+			vals = append(vals, t.val)
+			keys = append(keys, t.key)
 		} else {
 			rest = append(rest, t)
 		}
 	}
 	c.pendIns = rest
+	c.P.RippleInsertBatch(vals, keys)
 }
 
 // applyPendingDeletes removes tuples within [lo, hi) whose key has a pending
@@ -88,20 +89,18 @@ func (c *Col) applyPendingDeletes(lo, hi int) int {
 	if len(c.pendDel) == 0 {
 		return hi
 	}
+	// dead is ascending by construction; deleting the key as it is claimed
+	// both consumes the pending deletion and guards against a duplicate key
+	// in the scanned area.
 	var dead []int
-	claimed := make(map[Value]bool)
 	for i := lo; i < hi; i++ {
-		if k := c.P.Tail[i]; c.pendDel[k] && !claimed[k] {
-			claimed[k] = true
+		if k := c.P.Tail[i]; c.pendDel[k] {
+			delete(c.pendDel, k)
 			dead = append(dead, i)
 		}
 	}
 	if len(dead) == 0 {
 		return hi
-	}
-	sort.Ints(dead)
-	for _, i := range dead {
-		delete(c.pendDel, c.P.Tail[i])
 	}
 	c.P.RemovePositions(dead)
 	return hi - len(dead)

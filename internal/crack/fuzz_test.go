@@ -42,6 +42,96 @@ func FuzzCrackRange(f *testing.F) {
 	})
 }
 
+// FuzzCrackInThree fuzzes the single-pass crack-in-three kernel against the
+// two-pass crack-in-two reference: for every fuzzer-chosen predicate
+// sequence, both kernels must produce identical areas, identical piece
+// boundaries, and identical CheckPieces() validity; and two maps replaying
+// the sequence through CrackRange must end up with identical final layouts
+// (the alignment-determinism invariant of Section 3.2).
+func FuzzCrackInThree(f *testing.F) {
+	f.Add(int64(1), []byte{10, 40, 5, 60, 20, 20})
+	f.Add(int64(4), []byte{0, 127, 64, 65, 1, 126})
+	f.Add(int64(8), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, preds []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		a := randPairs(rng, 256, 128)
+		b := WrapPairs(append([]Value(nil), a.Head...), append([]Value(nil), a.Tail...))
+		ref := WrapPairs(append([]Value(nil), a.Head...), append([]Value(nil), a.Tail...))
+		for i := 0; i+1 < len(preds) && i < 40; i += 2 {
+			lo, hi := int64(preds[i])%128, int64(preds[i+1])%128
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pred := store.Pred{Lo: lo, Hi: hi, LoIncl: preds[i]%2 == 0, HiIncl: preds[i+1]%2 == 0}
+			alo, ahi := a.CrackRange(pred)
+			b.CrackRange(pred)
+			rlo, rhi := crackRangeTwoPass(ref, pred)
+			if alo != rlo || ahi != rhi {
+				t.Fatalf("pred %v: area (%d,%d) vs two-pass (%d,%d)", pred, alo, ahi, rlo, rhi)
+			}
+			if !sameBoundaries(a, ref) {
+				t.Fatalf("pred %v: piece boundaries diverged from two-pass reference", pred)
+			}
+		}
+		if a.CheckPieces() != ref.CheckPieces() || !a.CheckPieces() {
+			t.Fatal("piece invariant validity diverged")
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Head[i] != b.Head[i] || a.Tail[i] != b.Tail[i] {
+				t.Fatalf("replayed maps diverged at %d: (%d,%d) vs (%d,%d)",
+					i, a.Head[i], a.Tail[i], b.Head[i], b.Tail[i])
+			}
+		}
+	})
+}
+
+// FuzzRippleInsertBatch fuzzes the batched merge against arrival-order
+// sequential RippleInsert calls interleaved with cracks: final layouts must
+// be bit-identical.
+func FuzzRippleInsertBatch(f *testing.F) {
+	f.Add(int64(1), []byte{0, 10, 1, 20, 1, 30, 0, 50, 1, 5})
+	f.Add(int64(3), []byte{1, 1, 1, 2, 1, 3})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		a := randPairs(rng, 128, 64)
+		b := WrapPairs(append([]Value(nil), a.Head...), append([]Value(nil), a.Tail...))
+		var vals, tails []Value
+		flush := func() {
+			a.RippleInsertBatch(vals, tails)
+			for i := range vals {
+				b.RippleInsert(vals[i], tails[i])
+			}
+			vals, tails = vals[:0], tails[:0]
+		}
+		for i := 0; i+1 < len(ops) && i < 60; i += 2 {
+			arg := int64(ops[i+1]) % 64
+			if ops[i]%2 == 0 { // crack: flush the pending batch first
+				flush()
+				a.CrackRange(store.Range(arg, arg+16))
+				b.CrackRange(store.Range(arg, arg+16))
+			} else {
+				vals = append(vals, arg)
+				tails = append(tails, Value(1000+i))
+			}
+		}
+		flush()
+		if a.Len() != b.Len() {
+			t.Fatalf("length diverged: %d vs %d", a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Head[i] != b.Head[i] || a.Tail[i] != b.Tail[i] {
+				t.Fatalf("batch vs sequential diverged at %d", i)
+			}
+		}
+		if !sameBoundaries(a, b) {
+			t.Fatal("index boundaries diverged")
+		}
+		if !a.CheckPieces() {
+			t.Fatal("piece invariant violated")
+		}
+	})
+}
+
 // FuzzRippleUpdates mixes cracks, ripple inserts and positional removals.
 func FuzzRippleUpdates(f *testing.F) {
 	f.Add(int64(1), []byte{0, 10, 1, 20, 2, 3, 0, 50})

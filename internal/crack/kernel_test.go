@@ -1,0 +1,202 @@
+package crack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crackstore/internal/crackindex"
+	"crackstore/internal/store"
+)
+
+// crackRangeTwoPass is the seed kernel: each bound cracks its piece
+// independently. Kept as the reference the single-pass crack-in-three is
+// verified against.
+func crackRangeTwoPass(p *Pairs, pred store.Pred) (lo, hi int) {
+	lo = p.CrackBound(pred.LowerBound())
+	hi = p.CrackBound(pred.UpperBound())
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// boundaries returns the live (bound, position) list of the index.
+func boundaries(p *Pairs) []crackindex.Bound {
+	var bs []crackindex.Bound
+	var ps []int
+	p.Idx.Walk(func(b crackindex.Bound, pos int) { bs = append(bs, b); ps = append(ps, pos) })
+	out := make([]crackindex.Bound, 0, 2*len(bs))
+	for i := range bs {
+		out = append(out, bs[i], crackindex.Bound{V: int64(ps[i]), Incl: true})
+	}
+	return out
+}
+
+func sameBoundaries(a, b *Pairs) bool {
+	x, y := boundaries(a), boundaries(b)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrackRangeColdSinglePass is the pass-counting acceptance test: on a
+// cold column whose bounds both fall in the single uncracked piece,
+// CrackRange must perform exactly one crack-in-three partition pass that
+// visits each tuple once, and no crack-in-two pass.
+func TestCrackRangeColdSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 10000
+	p := randPairs(rng, n, 1000)
+	pred := store.Range(100, 900)
+	lo, hi := p.CrackRange(pred)
+	if p.Stats.InThree != 1 || p.Stats.InTwo != 0 {
+		t.Fatalf("cold crack used %d crack-in-three and %d crack-in-two passes, want 1 and 0",
+			p.Stats.InThree, p.Stats.InTwo)
+	}
+	if p.Stats.Visited != n {
+		t.Fatalf("cold crack visited %d tuples, want exactly %d (one pass)", p.Stats.Visited, n)
+	}
+	for i := 0; i < p.Len(); i++ {
+		in := i >= lo && i < hi
+		if pred.Matches(p.Head[i]) != in {
+			t.Fatalf("position %d (val %d): inArea=%v", i, p.Head[i], in)
+		}
+	}
+	if !p.CheckPieces() {
+		t.Fatal("piece invariant violated")
+	}
+}
+
+// TestCrackRangeFallsBackAcrossPieces verifies the crack-in-two fallback:
+// once a boundary separates the two bounds, CrackRange cracks each piece
+// independently.
+func TestCrackRangeFallsBackAcrossPieces(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := randPairs(rng, 5000, 1000)
+	p.CrackRange(store.Range(400, 600)) // boundaries at 400 and 600
+	p.Stats = KernelStats{}
+	p.CrackRange(store.Range(300, 700)) // bounds straddle existing boundaries
+	if p.Stats.InThree != 0 || p.Stats.InTwo != 2 {
+		t.Fatalf("straddling crack used %d in-three / %d in-two passes, want 0 / 2",
+			p.Stats.InThree, p.Stats.InTwo)
+	}
+	if !p.CheckPieces() {
+		t.Fatal("piece invariant violated")
+	}
+}
+
+// TestCrackInThreeMatchesTwoPassBoundaries: for any predicate sequence, the
+// single-pass kernel must produce the same areas and the same piece
+// boundaries (bound and position) as the two-pass reference, because split
+// positions are determined by value counts alone.
+func TestCrackInThreeMatchesTwoPassBoundaries(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(400)
+		head := make([]Value, n)
+		for i := range head {
+			head[i] = Value(rng.Int63n(80))
+		}
+		a := WrapPairs(append([]Value(nil), head...), make([]Value, n))
+		r := WrapPairs(append([]Value(nil), head...), make([]Value, n))
+		for q := 0; q < 12; q++ {
+			pred := randPred(rng, 80)
+			alo, ahi := a.CrackRange(pred)
+			rlo, rhi := crackRangeTwoPass(r, pred)
+			if alo != rlo || ahi != rhi {
+				return false
+			}
+			if !sameBoundaries(a, r) {
+				return false
+			}
+			if a.CheckPieces() != r.CheckPieces() || !a.CheckPieces() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRippleInsertBatchMatchesSequential: the batched merge must produce
+// exactly the layout of arrival-order sequential RippleInsert calls —
+// including tail order — so either form can replay a tape.
+func TestRippleInsertBatchMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		head := make([]Value, n)
+		for i := range head {
+			head[i] = Value(rng.Int63n(60))
+		}
+		mkTail := func() []Value {
+			tl := make([]Value, n)
+			for i := range tl {
+				tl[i] = Value(i)
+			}
+			return tl
+		}
+		a := WrapPairs(append([]Value(nil), head...), mkTail())
+		b := WrapPairs(append([]Value(nil), head...), mkTail())
+		for q := 0; q < 6; q++ {
+			pred := randPred(rng, 60)
+			a.CrackRange(pred)
+			b.CrackRange(pred)
+		}
+		m := 1 + rng.Intn(40)
+		vals := make([]Value, m)
+		tails := make([]Value, m)
+		for i := range vals {
+			vals[i] = Value(rng.Int63n(60))
+			tails[i] = Value(1000 + i)
+		}
+		a.RippleInsertBatch(vals, tails)
+		for i := range vals {
+			b.RippleInsert(vals[i], tails[i])
+		}
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Head[i] != b.Head[i] || a.Tail[i] != b.Tail[i] {
+				return false
+			}
+		}
+		return sameBoundaries(a, b) && a.CheckPieces() && b.CheckPieces()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRippleInsertBatchEmptyAndColdPaths covers the trivial batch paths.
+func TestRippleInsertBatchEmptyAndColdPaths(t *testing.T) {
+	p := WrapPairs([]Value{3, 1, 2}, []Value{0, 1, 2})
+	p.RippleInsertBatch(nil, nil)
+	if p.Len() != 3 {
+		t.Fatal("empty batch changed the column")
+	}
+	// No boundaries: batch appends in arrival order.
+	p.RippleInsertBatch([]Value{9, 4}, []Value{10, 11})
+	want := []Value{3, 1, 2, 9, 4}
+	for i, v := range want {
+		if p.Head[i] != v {
+			t.Fatalf("cold batch: Head[%d] = %d, want %d", i, p.Head[i], v)
+		}
+	}
+	// Single-element batch delegates to RippleInsert.
+	p.CrackRange(store.Range(2, 4))
+	p.RippleInsertBatch([]Value{2}, []Value{12})
+	if p.Len() != 6 || !p.CheckPieces() {
+		t.Fatal("single-element batch broke invariants")
+	}
+}

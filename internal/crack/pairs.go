@@ -17,9 +17,24 @@
 // that makes sideways cracking's adaptive alignment correct: two maps of the
 // same set that replay the same sequence of cracks end up with identical
 // head orderings (Section 3.2).
+//
+// CrackRange partitions against both bounds of a range predicate in a
+// single pass (crack-in-three, a Dutch-national-flag partition) whenever
+// both bounds fall into the same uncracked piece — the common cold-start
+// case — and falls back to two crack-in-two passes otherwise. Which path is
+// taken depends only on the cracker-index state, which itself is a function
+// of the replayed operation sequence, so the choice is deterministic across
+// aligned maps and the alignment invariant is preserved.
+//
+// Updates use the Ripple algorithm. RippleInsert merges one pending tuple;
+// RippleInsertBatch merges many in a single pass (one index walk, one bulk
+// boundary shift) and is defined to produce exactly the layout that
+// arrival-order sequential RippleInsert calls would, so replay tapes can be
+// applied with either without breaking alignment.
 package crack
 
 import (
+	"math"
 	"sort"
 
 	"crackstore/internal/crackindex"
@@ -29,11 +44,23 @@ import (
 // Value aliases the kernel value type.
 type Value = store.Value
 
+// KernelStats counts partition work. Tests use it to verify that a cold
+// range crack is a single pass; benchmarks use it for work accounting.
+type KernelStats struct {
+	InTwo   int // crack-in-two partition passes
+	InThree int // single-pass crack-in-three partitions
+	Visited int // tuples examined across all partition passes
+}
+
 // Pairs is a two-column table with a cracker index over the head column.
 type Pairs struct {
 	Head []Value
 	Tail []Value
 	Idx  *crackindex.Index
+
+	// Stats accumulates kernel partition counters. Resetting it is cheap
+	// and does not affect behavior.
+	Stats KernelStats
 }
 
 // NewPairs returns a Pairs over copies of head and tail. Panics if lengths
@@ -74,11 +101,27 @@ func onLeft(v Value, b crackindex.Bound) bool {
 	return v <= b.V // boundary > V: left side is <= V
 }
 
+// cut returns the exclusive cutoff c with onLeft(v, b) == (v < c), so hot
+// partition loops compare against a plain integer instead of re-testing
+// b.Incl per tuple. ok is false only for the non-representable boundary
+// {MaxInt64, exclusive}, whose left side is the whole domain.
+func cut(b crackindex.Bound) (c Value, ok bool) {
+	if b.Incl {
+		return b.V, true
+	}
+	if b.V == math.MaxInt64 {
+		return 0, false
+	}
+	return b.V + 1, true
+}
+
 // crackInTwo partitions positions [lo, hi) so that all values on the left
 // of boundary b precede all values at-or-right of it, returning the split
 // position. The algorithm is the two-pointer partition of [7]; it is a
 // deterministic function of the piece contents.
 func (p *Pairs) crackInTwo(b crackindex.Bound, lo, hi int) int {
+	p.Stats.InTwo++
+	p.Stats.Visited += hi - lo
 	i, j := lo, hi-1
 	for i <= j {
 		for i <= j && onLeft(p.Head[i], b) {
@@ -100,7 +143,12 @@ func (p *Pairs) crackInTwo(b crackindex.Bound, lo, hi int) int {
 // falls into if necessary, and returns the boundary position. The index is
 // updated. A no-op if the boundary already exists.
 func (p *Pairs) CrackBound(b crackindex.Bound) int {
-	pc := p.Idx.PieceFor(b, len(p.Head))
+	return p.crackBoundAt(b, p.Idx.PieceFor(b, len(p.Head)))
+}
+
+// crackBoundAt is CrackBound for a bound whose piece is already located,
+// saving the index descent.
+func (p *Pairs) crackBoundAt(b crackindex.Bound, pc crackindex.Piece) int {
 	if pc.LoExact {
 		return pc.Lo
 	}
@@ -109,12 +157,93 @@ func (p *Pairs) CrackBound(b crackindex.Bound) int {
 	return pos
 }
 
+// crackInThree partitions positions [lo, hi) against both bounds in a
+// single pass (a Dutch-national-flag partition): values left of b1, then
+// values in [b1, b2), then values at-or-right of b2. Requires b1 < b2.
+// Returns the two split positions. Like crackInTwo it is a deterministic
+// function of the piece contents.
+func (p *Pairs) crackInThree(b1, b2 crackindex.Bound, lo, hi int) (int, int) {
+	c1, ok1 := cut(b1)
+	c2, ok2 := cut(b2)
+	if !ok1 || !ok2 {
+		// Unreachable for predicates over real value domains; resolve the
+		// non-representable bound as two crack-in-two passes (which keep
+		// their own stats).
+		lo = p.crackInTwo(b1, lo, hi)
+		return lo, p.crackInTwo(b2, lo, hi)
+	}
+	p.Stats.InThree++
+	p.Stats.Visited += hi - lo
+	h, t := p.Head, p.Tail
+	// Invariant: [lo,lt) left of b1, [lt,cur) in [b1,b2), [gt,hi) at-or-right
+	// of b2, [cur,gt) unexamined. Right-class elements met by the descending
+	// gt cursor stay in place for free; only genuinely misplaced tuples are
+	// swapped, so the pass does crack-in-two-like data movement while
+	// resolving both bounds in one traversal.
+	lt, cur, gt := lo, lo, hi
+	for cur < gt {
+		v := h[cur]
+		if v < c2 {
+			if v < c1 {
+				if lt != cur {
+					h[lt], h[cur] = v, h[lt]
+					t[lt], t[cur] = t[cur], t[lt]
+				}
+				lt++
+			}
+			cur++
+			continue
+		}
+		// v belongs at-or-right of b2: pull a non-right partner down from
+		// the top, skipping elements already in their final region.
+		for {
+			gt--
+			if cur == gt {
+				break
+			}
+			w := h[gt]
+			if w < c2 {
+				h[cur], h[gt] = w, v
+				t[cur], t[gt] = t[gt], t[cur]
+				if w < c1 {
+					if lt != cur {
+						h[lt], h[cur] = w, h[lt]
+						t[lt], t[cur] = t[cur], t[lt]
+					}
+					lt++
+				}
+				cur++
+				break
+			}
+		}
+	}
+	return lt, gt
+}
+
 // CrackRange physically reorganizes the pairs so that all tuples matching
 // pred occupy the contiguous area [lo, hi), which is returned. This is the
 // core of operator sideways.select steps (4)-(6) and of crackers.select.
+//
+// When both bounds of pred fall into the same uncracked piece (always the
+// case on a cold column), the piece is partitioned against both bounds in
+// one crack-in-three pass; otherwise each bound cracks its own piece in
+// two. The path choice depends only on the index state, so it is identical
+// across maps replaying the same operation sequence.
 func (p *Pairs) CrackRange(pred store.Pred) (lo, hi int) {
-	lo = p.CrackBound(pred.LowerBound())
-	hi = p.CrackBound(pred.UpperBound())
+	b1, b2 := pred.LowerBound(), pred.UpperBound()
+	if b1.Less(b2) {
+		pc := p.Idx.PieceFor(b1, len(p.Head))
+		if !pc.LoExact && (!pc.HasHiB || b2.Less(pc.HiBound)) {
+			lo, hi = p.crackInThree(b1, b2, pc.Lo, pc.Hi)
+			p.Idx.Insert(b1, lo)
+			p.Idx.Insert(b2, hi)
+			return lo, hi
+		}
+		lo = p.crackBoundAt(b1, pc) // reuse the descent the probe already paid
+	} else {
+		lo = p.CrackBound(b1)
+	}
+	hi = p.CrackBound(b2)
 	if hi < lo {
 		// Possible only for empty predicates (e.g. lo > hi); normalize.
 		hi = lo
@@ -158,6 +287,134 @@ func (p *Pairs) RippleInsert(v, t Value) {
 	}
 }
 
+// RippleInsertBatch inserts all tuples (vals[i], tails[i]) as if
+// RippleInsert were called for each in order, but in a single pass: one
+// index walk to collect boundaries, one target search per tuple, one
+// piece-wise reshuffle of the arrays, and one bulk boundary shift. The
+// resulting layout is exactly the layout the equivalent sequence of
+// RippleInsert calls produces, so tape replays may use either form without
+// breaking alignment determinism.
+func (p *Pairs) RippleInsertBatch(vals, tails []Value) {
+	if len(vals) != len(tails) {
+		panic("crack: RippleInsertBatch vals/tails length mismatch")
+	}
+	m := len(vals)
+	if m == 0 {
+		return
+	}
+	if m == 1 {
+		p.RippleInsert(vals[0], tails[0])
+		return
+	}
+	type bpos struct {
+		b   crackindex.Bound
+		pos int
+	}
+	var bps []bpos
+	p.Idx.Walk(func(b crackindex.Bound, pos int) { bps = append(bps, bpos{b, pos}) })
+	nb := len(bps)
+	if nb == 0 {
+		p.Head = append(p.Head, vals...)
+		p.Tail = append(p.Tail, tails...)
+		return
+	}
+	// target[i] is the first boundary whose left side vals[i] belongs to
+	// (nb when it belongs after all boundaries): the tuple lands at the end
+	// of piece target[i] and exactly boundaries target[i].. shift right.
+	// onLeft(v, ·) is monotone along the boundary order, so binary search
+	// applies.
+	targets := make([]int, m)
+	shift := make([]int, nb+1) // after prefix-summing: #inserts with target <= k
+	for i, v := range vals {
+		t := sort.Search(nb, func(k int) bool { return onLeft(v, bps[k].b) })
+		targets[i] = t
+		shift[t]++
+	}
+	for k := 1; k <= nb; k++ {
+		shift[k] += shift[k-1]
+	}
+	n := len(p.Head)
+	p.Head = append(p.Head, make([]Value, m)...)
+	p.Tail = append(p.Tail, make([]Value, m)...)
+
+	// Rebuild affected pieces from the top down. Sequential ripple inserts
+	// act on piece k (positions [bps[k-1].pos, bps[k].pos)) as a queue: an
+	// insert targeting k appends its tuple; an insert targeting a lower
+	// piece rotates the piece's current first tuple to its end (one tuple
+	// per shifted boundary). Replaying those events in arrival order per
+	// piece reproduces the sequential layout exactly.
+	appH := make([]Value, 0, m)
+	appT := make([]Value, 0, m)
+	for k := nb; k >= 0; k-- {
+		if shift[k] == 0 {
+			break // no inserts land at or below piece k: untouched
+		}
+		start, end := 0, n
+		if k > 0 {
+			start = bps[k-1].pos
+		}
+		if k < nb {
+			end = bps[k].pos
+		}
+		sBefore := 0
+		if k > 0 {
+			sBefore = shift[k-1]
+		}
+		appH, appT = appH[:0], appT[:0]
+		front := start // old-array index of the piece's current first tuple
+		pop := 0       // consumed prefix of the appended queue
+		for i := 0; i < m; i++ {
+			switch {
+			case targets[i] == k:
+				appH = append(appH, vals[i])
+				appT = append(appT, tails[i])
+			case targets[i] < k:
+				if front < end {
+					appH = append(appH, p.Head[front])
+					appT = append(appT, p.Tail[front])
+					front++
+				} else if pop < len(appH) {
+					appH = append(appH, appH[pop])
+					appT = append(appT, appT[pop])
+					pop++
+				}
+				// else: the piece is empty; nothing rotates.
+			}
+		}
+		// Surviving originals keep their order, then the appended queue.
+		newStart := start + sBefore
+		origLen := end - front
+		copy(p.Head[newStart:newStart+origLen], p.Head[front:end])
+		copy(p.Tail[newStart:newStart+origLen], p.Tail[front:end])
+		copy(p.Head[newStart+origLen:end+shift[k]], appH[pop:])
+		copy(p.Tail[newStart+origLen:end+shift[k]], appT[pop:])
+	}
+	k := 0
+	p.Idx.Reposition(func(b crackindex.Bound, pos int) int {
+		d := shift[k]
+		k++
+		return pos + d
+	})
+}
+
+// RippleInsertKeys batch-merges the tuples with the given base keys: head
+// values come from headCol, tails from tailCol, or the keys themselves when
+// tailCol is nil (key maps). Shared by the sideways and partial replay
+// tapes so their insert entries stay byte-identical.
+func (p *Pairs) RippleInsertKeys(keys []int, headCol, tailCol *store.Column) {
+	vals := make([]Value, len(keys))
+	tails := make([]Value, len(keys))
+	for i, k := range keys {
+		vals[i] = headCol.Vals[k]
+		if tailCol != nil {
+			tails[i] = tailCol.Vals[k]
+		} else {
+			tails[i] = Value(k)
+		}
+	}
+	p.RippleInsertBatch(vals, tails)
+}
+
 // RemovePositions deletes the tuples at the given positions (ascending,
 // duplicate-free) and compacts the arrays, shifting index boundaries left.
 func (p *Pairs) RemovePositions(positions []int) {
@@ -182,18 +439,9 @@ func (p *Pairs) RemovePositions(positions []int) {
 	p.Tail = p.Tail[:out]
 	// Re-position every boundary: subtract the number of deleted positions
 	// before it.
-	type bp struct {
-		b   crackindex.Bound
-		pos int
-	}
-	var all []bp
-	p.Idx.Walk(func(b crackindex.Bound, pos int) { all = append(all, bp{b, pos}) })
-	for _, e := range all {
-		d := sort.SearchInts(positions, e.pos)
-		if d > 0 {
-			p.Idx.Insert(e.b, e.pos-d)
-		}
-	}
+	p.Idx.Reposition(func(b crackindex.Bound, pos int) int {
+		return pos - sort.SearchInts(positions, pos)
+	})
 }
 
 // CheckPieces verifies that every index boundary holds physically: values

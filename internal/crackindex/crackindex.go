@@ -262,6 +262,26 @@ func (ix *Index) ShiftFrom(pos, delta int) {
 	walk(ix.root)
 }
 
+// Reposition calls f for every live boundary in ascending order and stores
+// the returned position. It is the bulk counterpart of re-Inserting each
+// boundary after a batched ripple update: one tree walk instead of one
+// descent per boundary. f must keep positions monotone (the piece
+// invariant).
+func (ix *Index) Reposition(f func(b Bound, pos int) int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.l)
+		if !n.deleted {
+			n.pos = f(n.b, n.pos)
+		}
+		walk(n.r)
+	}
+	walk(ix.root)
+}
+
 // Walk calls f for every live boundary in ascending order.
 func (ix *Index) Walk(f func(b Bound, pos int)) {
 	var walk func(n *node)

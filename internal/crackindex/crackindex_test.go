@@ -269,3 +269,45 @@ func BenchmarkPieceFor(b *testing.B) {
 		ix.PieceFor(Bound{int64(rng.Intn(1 << 20)), true}, 1<<20)
 	}
 }
+
+// TestReposition verifies the bulk position update visits live boundaries in
+// ascending order, skips deleted ones, and matches repeated Insert calls.
+func TestReposition(t *testing.T) {
+	ix := New()
+	var bounds []Bound
+	for i := 0; i < 50; i++ {
+		b := Bound{V: int64(i * 2), Incl: i%2 == 0}
+		bounds = append(bounds, b)
+		ix.Insert(b, i*10)
+	}
+	ix.Delete(bounds[7])
+	ix.Delete(bounds[23])
+
+	// Reference: collect via Walk, shift with Insert.
+	ref := New()
+	ix.Walk(func(b Bound, pos int) { ref.Insert(b, pos+5) })
+
+	var order []Bound
+	ix.Reposition(func(b Bound, pos int) int {
+		order = append(order, b)
+		return pos + 5
+	})
+	for i := 1; i < len(order); i++ {
+		if !order[i-1].Less(order[i]) {
+			t.Fatalf("Reposition order not ascending at %d", i)
+		}
+	}
+	if len(order) != ix.Len() {
+		t.Fatalf("Reposition visited %d boundaries, want %d live", len(order), ix.Len())
+	}
+	ix.Walk(func(b Bound, pos int) {
+		want, ok := ref.Lookup(b)
+		if !ok || want != pos {
+			t.Fatalf("boundary %v: pos %d, want %d", b, pos, want)
+		}
+	})
+	// Deleted boundaries must remain deleted and untouched by Reposition.
+	if _, ok := ix.Lookup(bounds[7]); ok {
+		t.Fatal("deleted boundary revived by Reposition")
+	}
+}

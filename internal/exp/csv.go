@@ -127,9 +127,10 @@ func sanitize(title string) string {
 	return string(out)
 }
 
-// reportCSVError surfaces CSV write problems without failing experiments.
-func (c Config) reportCSVError(err error) {
+// reportExportError surfaces CSV/JSON write problems without failing
+// experiments.
+func (c Config) reportExportError(err error) {
 	if err != nil {
-		fmt.Fprintf(c.writer(), "(csv export failed: %v)\n", err)
+		fmt.Fprintf(c.writer(), "(series export failed: %v)\n", err)
 	}
 }

@@ -29,6 +29,11 @@ type Config struct {
 	// CSVDir, when non-empty, also writes each figure's full series as a
 	// CSV file (one per panel) into this directory for plotting.
 	CSVDir string
+	// JSONDir, when non-empty, also writes each figure's per-query and
+	// cumulative latency series as BENCH_<panel>.json into this directory,
+	// giving later revisions a machine-readable perf trajectory to compare
+	// against.
+	JSONDir string
 }
 
 // Default returns a laptop-scale configuration.
@@ -99,7 +104,8 @@ type Series struct {
 // printSeries prints sampled points of several aligned series and, when
 // CSVDir is set, exports the full series as CSV.
 func printSeries(cfg Config, title string, xlabel string, series []Series) {
-	cfg.reportCSVError(cfg.csvSeries(sanitize(title), xlabel, series))
+	cfg.reportExportError(cfg.csvSeries(sanitize(title), xlabel, series))
+	cfg.reportExportError(cfg.jsonSeries(sanitize(title), title, xlabel, series))
 	cfg.logf("\n== %s ==\n", title)
 	cfg.logf("%-10s", xlabel)
 	for _, s := range series {

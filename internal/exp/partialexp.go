@@ -96,7 +96,7 @@ func Fig9(cfg Config) *Fig9Result {
 		storageRuns["full"+budgetTag(res.Budgets[i])] = res.Runs[i][0].Storage
 		storageRuns["part"+budgetTag(res.Budgets[i])] = res.Runs[i][1].Storage
 	}
-	cfg.reportCSVError(cfg.csvStorage("fig9d_storage", storageRuns))
+	cfg.reportExportError(cfg.csvStorage("fig9d_storage", storageRuns))
 	cfg.logf("\n== Fig 9(d): storage used (tuples) ==\n")
 	cfg.logf("%-8s", "query")
 	for i := range res.Runs {
@@ -153,7 +153,7 @@ func Fig10(cfg Config) *Fig10Result {
 		[]Series{{Name: "full maps", Y: res.Uniform1K[0].PerQ}, {Name: "partial maps", Y: res.Uniform1K[1].PerQ}})
 	printSeries(cfg, "Fig 10(b): skewed, S=1% of rows", "query",
 		[]Series{{Name: "full maps", Y: res.Skewed10K[0].PerQ}, {Name: "partial maps", Y: res.Skewed10K[1].PerQ}})
-	cfg.reportCSVError(cfg.csvStorage("fig10c_storage", map[string][]int{
+	cfg.reportExportError(cfg.csvStorage("fig10c_storage", map[string][]int{
 		"full_rand1k":  res.Uniform1K[0].Storage,
 		"part_rand1k":  res.Uniform1K[1].Storage,
 		"full_skew10k": res.Skewed10K[0].Storage,

@@ -85,6 +85,16 @@ func Exp1(cfg Config) *Exp1Result {
 		cfg.logf("%-12s%12s%12s%12s\n", k.String(), fmtDur(b.Total()), fmtDur(b.TR), fmtDur(b.Sel))
 	}
 	cfg.logf("(presorting cost excluded from presorted: %s)\n", fmtDur(res.PrepCost))
+	// Export the full per-query series at the largest TR count as the
+	// machine-readable perf trajectory for this figure.
+	var series []Series
+	for _, k := range kinds {
+		name := k.String()
+		if ss := res.Series[name]; len(ss) > 0 {
+			series = append(series, Series{Name: name, Y: ss[len(ss)-1]})
+		}
+	}
+	cfg.reportExportError(cfg.jsonSeries(sanitize("Exp1 (Fig 4a) per-query"), "Exp1 (Fig 4a) per-query", "query", series))
 	return res
 }
 

@@ -397,13 +397,7 @@ func (set *Set) replay(w *area, c *chunk, end int, tailAttr string) {
 			c.p.CrackRange(e.pred)
 			c.lastCrack = set.st.queries
 		case entryInsert:
-			for _, k := range e.keys {
-				tv := Value(k)
-				if tailCol != nil {
-					tv = tailCol.Vals[k]
-				}
-				c.p.RippleInsert(headCol.Vals[k], tv)
-			}
+			c.p.RippleInsertKeys(e.keys, headCol, tailCol)
 		case entryDelete:
 			c.p.RemovePositions(e.positions)
 		}
@@ -445,9 +439,11 @@ func (set *Set) recoverHead(w *area, c *chunk) {
 		case entryCrack:
 			tmp.CrackRange(e.pred)
 		case entryInsert:
-			for _, k := range e.keys {
-				tmp.RippleInsert(headCol.Vals[k], 0)
+			vals := make([]Value, len(e.keys))
+			for i, k := range e.keys {
+				vals[i] = headCol.Vals[k]
 			}
+			tmp.RippleInsertBatch(vals, make([]Value, len(e.keys)))
 		case entryDelete:
 			tmp.RemovePositions(e.positions)
 		}

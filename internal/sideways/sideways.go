@@ -250,13 +250,7 @@ func (set *Set) replay(m *Map, end int) {
 		case entryCrack:
 			m.pairs.CrackRange(e.pred)
 		case entryInsert:
-			for _, k := range e.keys {
-				tv := Value(k)
-				if tailCol != nil {
-					tv = tailCol.Vals[k]
-				}
-				m.pairs.RippleInsert(headCol.Vals[k], tv)
-			}
+			m.pairs.RippleInsertKeys(e.keys, headCol, tailCol)
 		case entryDelete:
 			m.pairs.RemovePositions(e.positions)
 		}
