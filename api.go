@@ -6,6 +6,7 @@ import (
 	"crackstore/internal/dict"
 	"crackstore/internal/engine"
 	"crackstore/internal/partial"
+	"crackstore/internal/serve"
 	"crackstore/internal/sideways"
 	"crackstore/internal/store"
 )
@@ -183,7 +184,41 @@ func ClusteredMin(e Engine, attr string) (v Value, ok bool) {
 	return 0, false
 }
 
-// Synchronized wraps an engine with a mutex so it can be shared across
-// goroutines. Cracking engines reorganize data as a side effect of queries
-// — reads are writes — so unsynchronized concurrent use is never safe.
+// Concurrent wraps an engine with the two-phase (probe/execute) locking
+// protocol so it can be shared across goroutines: queries that reorganize
+// nothing — the vast majority once a workload's ranges are cracked — run
+// in parallel under a shared read lock, and only queries that must crack,
+// merge pending updates, or maintain auxiliary structures take the
+// exclusive write lock (double-checked, so one crack pays for every
+// waiting reader). Wrapping is idempotent.
+func Concurrent(e Engine) Engine { return engine.Concurrent(e) }
+
+// Serialized wraps an engine with a single mutex that serializes every
+// operation. It is the baseline Concurrent is benchmarked against
+// (crackbench -clients).
+func Serialized(e Engine) Engine { return engine.Serialized(e) }
+
+// Synchronized wraps an engine so it can be shared across goroutines.
+//
+// Deprecated: Synchronized is a shim over Concurrent, kept for
+// compatibility; call Concurrent directly in new code, or Serialized for
+// the fully serialized baseline.
 func Synchronized(e Engine) Engine { return engine.Synchronized(e) }
+
+// ServeOptions tunes a Server: worker-pool size, admission-queue capacity,
+// and admission batching of same-attribute queries.
+type ServeOptions = serve.Options
+
+// Server executes queries from many clients against one shared engine
+// through a bounded worker pool, capturing per-query latencies.
+type Server = serve.Server
+
+// ServeStats summarizes a serving run: query count, throughput (QPS), and
+// latency percentiles.
+type ServeStats = serve.Stats
+
+// Serve starts a concurrent serving layer over e (wrapping it in
+// Concurrent unless it is already shared-safe). Callers submit queries
+// with Server.Do from any number of goroutines and must Close the server
+// when done.
+func Serve(e Engine, opts ServeOptions) *Server { return serve.New(e, opts) }

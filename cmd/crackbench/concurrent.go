@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/exp"
+	"crackstore/internal/serve"
+	"crackstore/internal/store"
+	"crackstore/internal/workload"
+)
+
+// concurrentConfig drives the -clients mode: a multi-client serving
+// benchmark over a warm sideways workload, comparing the serialized
+// (global-mutex) baseline against the probe/execute Concurrent wrapper.
+type concurrentConfig struct {
+	Clients int
+	Rows    int
+	Queries int
+	Pool    int     // distinct predicates in the warm workload
+	Sel     float64 // per-query selectivity
+	Seed    int64
+	JSONDir string
+	Batch   bool // also run the admission-batching server variant
+}
+
+func (c concurrentConfig) withDefaults() concurrentConfig {
+	if c.Rows <= 0 {
+		c.Rows = 200_000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 40_000
+	}
+	if c.Pool <= 0 {
+		c.Pool = 64
+	}
+	if c.Sel <= 0 {
+		// Interactive serving is dominated by selective queries (point
+		// lookups and narrow ranges); 0.02% of the relation per query
+		// mirrors that shape. -sel overrides.
+		c.Sel = 0.0002
+	}
+	return c
+}
+
+func (c concurrentConfig) buildRelation() *store.Relation {
+	rng := rand.New(rand.NewSource(c.Seed))
+	domain := int64(c.Rows)
+	return store.Build("R", c.Rows, []string{"A", "B", "C"}, func(attr string, row int) store.Value {
+		return rng.Int63n(domain) + 1
+	})
+}
+
+func (c concurrentConfig) queryPool() []engine.Query {
+	gen := workload.New(int64(c.Rows), c.Seed+1)
+	pool := make([]engine.Query, c.Pool)
+	for i := range pool {
+		pool[i] = engine.Query{
+			Preds: []engine.AttrPred{{Attr: "A", Pred: gen.Range(c.Sel)}},
+			Projs: []string{"B"},
+		}
+	}
+	return pool
+}
+
+// runMode measures one wrapper configuration: build a fresh engine, warm
+// it by running the whole pool once (every range gets cracked and every
+// map aligned), then fire Clients goroutines at a serving layer and
+// collect throughput and latency.
+func (c concurrentConfig) runMode(name string, wrap func(engine.Engine) engine.Engine, batch bool) serve.Stats {
+	rel := c.buildRelation()
+	e := wrap(engine.New(engine.Sideways, rel))
+	pool := c.queryPool()
+	for _, q := range pool {
+		e.Query(q)
+	}
+	// Collect garbage from the build/warm phase so allocation debt does
+	// not pollute the measured serving window.
+	runtime.GC()
+
+	srv := serve.New(e, serve.Options{Workers: c.Clients, Batch: batch})
+	perClient := c.Queries / c.Clients
+	var wg sync.WaitGroup
+	for g := 0; g < c.Clients; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perClient; i++ {
+				if _, _, err := srv.Do(pool[rng.Intn(len(pool))]); err != nil {
+					panic(err)
+				}
+			}
+		}(c.Seed + 100 + int64(g))
+	}
+	wg.Wait()
+	st := srv.Stats()
+	srv.Close()
+	fmt.Printf("%-22s %8d queries  %10.0f q/s  p50=%-8s p95=%-8s p99=%-8s max=%s\n",
+		name, st.Queries, st.QPS, st.P50, st.P95, st.P99, st.Max)
+	return st
+}
+
+// runConcurrentBench is the -clients entry point.
+func runConcurrentBench(c concurrentConfig) {
+	c = c.withDefaults()
+	// Micro-second queries make GC pacing the dominant noise source; relax
+	// it during the measurement (applies equally to every mode).
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+	fmt.Printf("== concurrent serving: %d clients, %d rows, %d queries, %d-predicate warm pool, %.2f%% selectivity ==\n",
+		c.Clients, c.Rows, c.Queries, c.Pool, c.Sel*100)
+
+	serialized := c.runMode("serialized", engine.Serialized, false)
+	concurrent := c.runMode("concurrent", engine.Concurrent, false)
+	series := []exp.Series{
+		{Name: "serialized", Y: serialized.Latencies},
+		{Name: "concurrent", Y: concurrent.Latencies},
+	}
+	if c.Batch {
+		batched := c.runMode("concurrent+batching", engine.Concurrent, true)
+		series = append(series, exp.Series{Name: "concurrent+batching", Y: batched.Latencies})
+	}
+
+	if serialized.QPS > 0 {
+		fmt.Printf("speedup: %.2fx aggregate QPS over the serialized baseline\n",
+			concurrent.QPS/serialized.QPS)
+	}
+	if c.JSONDir != "" {
+		title := fmt.Sprintf("Concurrent serving, %d clients (%d rows, warm sideways workload): serialized %.0f q/s vs concurrent %.0f q/s",
+			c.Clients, c.Rows, serialized.QPS, concurrent.QPS)
+		if err := exp.WriteSeriesJSON(c.JSONDir, "concurrent_serving",
+			title, "query (completion order)", series); err != nil {
+			fmt.Printf("json export failed: %v\n", err)
+		}
+	}
+}

@@ -9,10 +9,18 @@
 //	crackbench -exp fig9 -rows 1000000 -queries 1000   # paper scale
 //	crackbench -exp exp2 -scale paper
 //	crackbench -exp exp1 -json bench_out               # BENCH_*.json series
+//	crackbench -clients 8 -json bench_out              # concurrent serving
 //
 // Experiment ids: exp1 exp2 exp3 exp4 exp5 exp6 fig9 fig10 fig11 fig12
 // fig13 ablation all. Sizes default to a laptop-friendly scale; -scale paper uses
 // the paper's sizes (expect minutes per experiment).
+//
+// With -clients N the command instead runs the concurrent serving
+// benchmark: N client goroutines fire a warm sideways workload through the
+// serving layer, once against the serialized (global-mutex) baseline and
+// once against the probe/execute Concurrent wrapper, reporting aggregate
+// QPS and tail latencies (-serve-batch adds the admission-batching
+// variant).
 package main
 
 import (
@@ -35,8 +43,26 @@ func main() {
 		scale   = flag.String("scale", "default", "default | paper")
 		csvDir  = flag.String("csv", "", "also write full series as CSV files into this directory")
 		jsonDir = flag.String("json", "", "also write per-query cumulative latency series as BENCH_*.json files into this directory")
+		clients = flag.Int("clients", 0, "run the concurrent serving benchmark with this many client goroutines instead of the paper experiments")
+		srvPool = flag.Int("pool", 0, "concurrent mode: distinct predicates in the warm workload (0 = default)")
+		srvSel  = flag.Float64("sel", 0, "concurrent mode: per-query selectivity (0 = default 0.0002)")
+		srvBat  = flag.Bool("serve-batch", false, "concurrent mode: also run the admission-batching server variant")
 	)
 	flag.Parse()
+
+	if *clients > 0 {
+		runConcurrentBench(concurrentConfig{
+			Clients: *clients,
+			Rows:    *rows,
+			Queries: *queries,
+			Pool:    *srvPool,
+			Sel:     *srvSel,
+			Seed:    *seed,
+			JSONDir: *jsonDir,
+			Batch:   *srvBat,
+		})
+		return
+	}
 
 	cfg := exp.Default()
 	if *scale == "paper" {

@@ -39,6 +39,30 @@
 // invariant sideways cracking depends on: maps that replay the same cracker
 // tape stay physically identical.
 //
+// # Concurrent serving
+//
+// Cracking makes reads into writes, so the paper's engines assume a single
+// query executor. This package adds a two-phase (probe/execute) protocol
+// on top: every engine can report, read-only, whether a query would
+// physically reorganize anything (Engine.Probe) and can execute
+// reorganization-free queries without mutating state (Engine.QueryRO).
+// Concurrent wraps an engine with a read-write lock built on that
+// protocol — aligned repeat queries run in parallel under the shared
+// lock, and only queries that must crack, merge pending updates, or
+// maintain auxiliary structures serialize behind the exclusive lock
+// (double-checked, so one crack pays for every waiting reader):
+//
+//	shared := crackstore.Concurrent(e)   // safe for any number of goroutines
+//	srv := crackstore.Serve(shared, crackstore.ServeOptions{Workers: 8})
+//	res, cost, err := srv.Do(q)          // from any client goroutine
+//
+// Serve adds a bounded multi-client executor with per-query latency
+// capture and optional admission batching of same-attribute queries.
+// Synchronized (the old single-mutex wrapper) is deprecated; it now
+// delegates to Concurrent, and the fully serialized behavior remains
+// available as Serialized for benchmarking (crackbench -clients N
+// measures both).
+//
 // The cmd/crackbench and cmd/tpchbench tools regenerate every table and
 // figure of the paper's evaluation; see DESIGN.md for the experiment index
 // and EXPERIMENTS.md for measured results.

@@ -2,6 +2,7 @@ package crack
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"crackstore/internal/store"
@@ -112,6 +113,62 @@ func FuzzRippleInsertBatch(f *testing.F) {
 			} else {
 				vals = append(vals, arg)
 				tails = append(tails, Value(1000+i))
+			}
+		}
+		flush()
+		if a.Len() != b.Len() {
+			t.Fatalf("length diverged: %d vs %d", a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Head[i] != b.Head[i] || a.Tail[i] != b.Tail[i] {
+				t.Fatalf("batch vs sequential diverged at %d", i)
+			}
+		}
+		if !sameBoundaries(a, b) {
+			t.Fatal("index boundaries diverged")
+		}
+		if !a.CheckPieces() {
+			t.Fatal("piece invariant violated")
+		}
+	})
+}
+
+// FuzzRippleDeleteBatch fuzzes the single-pass batched delete against
+// highest-position-first sequential RippleDelete calls, interleaved with
+// cracks: final layouts and index boundaries must be bit-identical.
+func FuzzRippleDeleteBatch(f *testing.F) {
+	f.Add(int64(1), []byte{1, 10, 1, 20, 0, 30, 1, 5})
+	f.Add(int64(6), []byte{1, 0, 1, 1, 1, 2, 0, 40, 1, 63})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		a := randPairs(rng, 128, 64)
+		b := WrapPairs(append([]Value(nil), a.Head...), append([]Value(nil), a.Tail...))
+		seen := make(map[int]bool)
+		var dead []int
+		flush := func() {
+			sort.Ints(dead)
+			a.RippleDeleteBatch(dead)
+			for i := len(dead) - 1; i >= 0; i-- {
+				b.RippleDelete(dead[i])
+			}
+			dead = dead[:0]
+			for k := range seen {
+				delete(seen, k)
+			}
+		}
+		for i := 0; i+1 < len(ops) && i < 60; i += 2 {
+			arg := int64(ops[i+1])
+			if ops[i]%2 == 0 { // crack: flush the pending batch first
+				flush()
+				lo := arg % 64
+				a.CrackRange(store.Range(lo, lo+16))
+				b.CrackRange(store.Range(lo, lo+16))
+			} else if a.Len() > len(dead) {
+				pos := int(arg) % a.Len()
+				if !seen[pos] {
+					seen[pos] = true
+					dead = append(dead, pos)
+				}
 			}
 		}
 		flush()

@@ -251,6 +251,29 @@ func (p *Pairs) CrackRange(pred store.Pred) (lo, hi int) {
 	return lo, hi
 }
 
+// Area is the read-only probe of the two-phase (probe/execute) protocol:
+// if both bounds of pred already exist as live boundaries, the qualifying
+// area [lo, hi) can be read without any physical reorganization and ok is
+// true. When ok is false, answering pred requires CrackRange (a write).
+func (p *Pairs) Area(pred store.Pred) (lo, hi int, ok bool) {
+	lo, ok1 := p.Idx.Lookup(pred.LowerBound())
+	hi, ok2 := p.Idx.Lookup(pred.UpperBound())
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi, true
+}
+
+// NeedsCrack reports whether answering pred would physically reorganize the
+// pairs. Read-only; safe to call concurrently with other readers.
+func (p *Pairs) NeedsCrack(pred store.Pred) bool {
+	_, _, ok := p.Area(pred)
+	return !ok
+}
+
 // RippleInsert inserts the tuple (v, t) into the piece where v belongs,
 // shifting one boundary tuple per subsequent piece (the Ripple algorithm of
 // SIGMOD 2007). The column grows by one; index positions are adjusted.
@@ -413,6 +436,124 @@ func (p *Pairs) RippleInsertKeys(keys []int, headCol, tailCol *store.Column) {
 		}
 	}
 	p.RippleInsertBatch(vals, tails)
+}
+
+// RippleDelete removes the tuple at position pos by rippling the hole to
+// the end of the column: the last tuple of the hole's piece fills the hole,
+// every subsequent boundary shifts left by one (its piece donates its last
+// tuple to the hole it inherits), and the column shrinks by one. Only one
+// tuple per downstream piece moves, versus the full-suffix compaction of
+// RemovePositions. This is the per-tuple reference for RippleDeleteBatch.
+func (p *Pairs) RippleDelete(pos int) {
+	n := len(p.Head)
+	type bpos struct {
+		b crackindex.Bound
+		p int
+	}
+	var bps []bpos
+	p.Idx.Walk(func(b crackindex.Bound, bp int) {
+		if bp > pos {
+			bps = append(bps, bpos{b, bp})
+		}
+	})
+	hole := pos
+	for _, e := range bps {
+		last := e.p - 1
+		if hole != last {
+			p.Head[hole], p.Tail[hole] = p.Head[last], p.Tail[last]
+		}
+		hole = last
+	}
+	if hole != n-1 {
+		p.Head[hole], p.Tail[hole] = p.Head[n-1], p.Tail[n-1]
+	}
+	p.Head = p.Head[:n-1]
+	p.Tail = p.Tail[:n-1]
+	for _, e := range bps {
+		p.Idx.Insert(e.b, e.p-1)
+	}
+}
+
+// RippleDeleteBatch removes the tuples at the given positions (ascending,
+// duplicate-free, valid against the current layout) in a single pass: one
+// index walk, one fill-from-the-end sweep per affected piece, and one bulk
+// boundary shift. It produces exactly the layout that per-tuple
+// RippleDelete calls produce when applied from the highest position down
+// (the order in which every position stays valid), so replay tapes can use
+// either form without breaking alignment determinism. It is the delete-side
+// counterpart of RippleInsertBatch.
+func (p *Pairs) RippleDeleteBatch(positions []int) {
+	m := len(positions)
+	if m == 0 {
+		return
+	}
+	if m == 1 {
+		p.RippleDelete(positions[0])
+		return
+	}
+	n := len(p.Head)
+	type bpos struct {
+		b crackindex.Bound
+		p int
+	}
+	var bps []bpos
+	p.Idx.Walk(func(b crackindex.Bound, bp int) { bps = append(bps, bpos{b, bp}) })
+	nb := len(bps)
+	h, t := p.Head, p.Tail
+	// Sequential highest-first semantics decompose per piece: a piece first
+	// absorbs its own deletions (each hole filled by the piece's current
+	// last tuple), then rotates right once per deletion in an earlier piece
+	// (it donates its last tuple to the piece below and inherits a slot).
+	// "before" counts deletions in earlier pieces; di scans positions.
+	di, before := 0, 0
+	for k := 0; k <= nb; k++ {
+		s, e := 0, n
+		if k > 0 {
+			s = bps[k-1].p
+		}
+		if k < nb {
+			e = bps[k].p
+		}
+		ownStart := di
+		for di < m && positions[di] < e {
+			di++
+		}
+		own := positions[ownStart:di]
+		if before == 0 && len(own) == 0 {
+			continue
+		}
+		end := e
+		for i := len(own) - 1; i >= 0; i-- {
+			end--
+			if d := own[i]; d != end {
+				h[d], t[d] = h[end], t[end]
+			}
+		}
+		if before > 0 {
+			sz := end - s
+			ns := s - before
+			if sz > 0 {
+				r := before % sz
+				copy(h[ns:ns+r], h[end-r:end])
+				copy(t[ns:ns+r], t[end-r:end])
+				if before >= sz {
+					// Every survivor moves: the rotated tail block lands
+					// first, then the untouched prefix follows it.
+					copy(h[ns+r:ns+sz], h[s:end-r])
+					copy(t[ns+r:ns+sz], t[s:end-r])
+				}
+				// before < sz: only the tail block moved into the front
+				// gap; the middle [s, end-r) already sits at its final
+				// positions.
+			}
+		}
+		before += len(own)
+	}
+	p.Head = h[:n-m]
+	p.Tail = t[:n-m]
+	p.Idx.Reposition(func(b crackindex.Bound, pos int) int {
+		return pos - sort.SearchInts(positions, pos)
+	})
 }
 
 // RemovePositions deletes the tuples at the given positions (ascending,

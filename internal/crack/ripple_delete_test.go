@@ -1,0 +1,149 @@
+package crack
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"crackstore/internal/crackindex"
+	"crackstore/internal/store"
+)
+
+// randomCracked builds a Pairs over n random tuples and cracks it with q
+// random range predicates so the index holds a realistic boundary set.
+func randomCracked(rng *rand.Rand, n, q int, domain int64) *Pairs {
+	head := make([]Value, n)
+	tail := make([]Value, n)
+	for i := range head {
+		head[i] = rng.Int63n(domain)
+		tail[i] = Value(i)
+	}
+	p := NewPairs(head, tail)
+	for i := 0; i < q; i++ {
+		lo := rng.Int63n(domain)
+		w := 1 + rng.Int63n(domain/4+1)
+		p.CrackRange(store.Range(lo, lo+w))
+	}
+	return p
+}
+
+func clonePairs(p *Pairs) *Pairs {
+	c := NewPairs(p.Head, p.Tail)
+	p.Idx.Walk(func(b crackindex.Bound, pos int) { c.Idx.Insert(b, pos) })
+	return c
+}
+
+func pairsEqual(a, b *Pairs) bool {
+	if len(a.Head) != len(b.Head) {
+		return false
+	}
+	for i := range a.Head {
+		if a.Head[i] != b.Head[i] || a.Tail[i] != b.Tail[i] {
+			return false
+		}
+	}
+	type bp struct {
+		b   crackindex.Bound
+		pos int
+	}
+	var ab, bb []bp
+	a.Idx.Walk(func(b crackindex.Bound, pos int) { ab = append(ab, bp{b, pos}) })
+	b.Idx.Walk(func(b crackindex.Bound, pos int) { bb = append(bb, bp{b, pos}) })
+	if len(ab) != len(bb) {
+		return false
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRippleDeleteBatchMatchesSequential is the layout-equivalence property
+// the batch kernel is defined by: RippleDeleteBatch(positions) must produce
+// exactly the layout of per-tuple RippleDelete calls applied from the
+// highest position down.
+func TestRippleDeleteBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 5 + rng.Intn(120)
+		p := randomCracked(rng, n, rng.Intn(8), 1+rng.Int63n(60))
+		ref := clonePairs(p)
+
+		m := 1 + rng.Intn(n)
+		perm := rng.Perm(n)[:m]
+		sort.Ints(perm)
+
+		p.RippleDeleteBatch(perm)
+		for i := len(perm) - 1; i >= 0; i-- {
+			ref.RippleDelete(perm[i])
+		}
+
+		if !pairsEqual(p, ref) {
+			t.Fatalf("trial %d: batch layout differs from sequential reference\nbatch head=%v tail=%v\nref   head=%v tail=%v",
+				trial, p.Head, p.Tail, ref.Head, ref.Tail)
+		}
+		if !p.CheckPieces() {
+			t.Fatalf("trial %d: piece invariant violated after batch delete", trial)
+		}
+	}
+}
+
+// TestRippleDeletePreservesMultiset checks that ripple deletion removes
+// exactly the requested tuples and nothing else.
+func TestRippleDeletePreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(80)
+		p := randomCracked(rng, n, rng.Intn(6), 1+rng.Int63n(40))
+
+		m := 1 + rng.Intn(n)
+		dead := rng.Perm(n)[:m]
+		sort.Ints(dead)
+		want := make(map[Value]int)
+		for i, k := range p.Tail {
+			want[k] = int(p.Head[i])
+		}
+		for _, d := range dead {
+			delete(want, p.Tail[d])
+		}
+
+		p.RippleDeleteBatch(dead)
+		if p.Len() != n-m {
+			t.Fatalf("trial %d: len = %d, want %d", trial, p.Len(), n-m)
+		}
+		for i, k := range p.Tail {
+			v, ok := want[k]
+			if !ok || Value(v) != p.Head[i] {
+				t.Fatalf("trial %d: survivor (%d,%d) not in expected set", trial, p.Head[i], k)
+			}
+			delete(want, k)
+		}
+		if len(want) != 0 {
+			t.Fatalf("trial %d: %d tuples lost", trial, len(want))
+		}
+	}
+}
+
+// TestRippleDeleteSingleEdges exercises hand-picked edge cases: deletions
+// at piece starts, at boundary-adjacent positions, and in empty-piece
+// configurations.
+func TestRippleDeleteSingleEdges(t *testing.T) {
+	p := NewPairs(
+		[]Value{5, 1, 9, 3, 7, 2, 8},
+		[]Value{0, 1, 2, 3, 4, 5, 6},
+	)
+	p.CrackRange(store.Range(3, 8)) // pieces: <3 | [3,8) | >=8
+	ref := clonePairs(p)
+	for _, pos := range []int{p.Len() - 1, 0, 2} {
+		p.RippleDelete(pos)
+		ref.RippleDeleteBatch([]int{pos})
+		if !pairsEqual(p, ref) {
+			t.Fatalf("single-position batch diverged at pos %d", pos)
+		}
+		if !p.CheckPieces() {
+			t.Fatalf("piece invariant violated after deleting pos %d", pos)
+		}
+	}
+}

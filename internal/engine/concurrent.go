@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Concurrent wraps an engine with the two-phase (probe/execute) locking
+// protocol so it can serve many goroutines at once.
+//
+// Cracking engines physically reorganize their structures as a side effect
+// of queries — reads are writes — but after a warm-up the vast majority of
+// queries touch only already-cracked pieces and reorganize nothing. The
+// wrapper exploits that: a query first attempts the engine's
+// reorganization-free path under a shared read lock (QueryRO); only when
+// the engine reports that cracking, a pending-update merge, or structure
+// maintenance is required does it take the exclusive write lock, re-check
+// (another writer may have done the work in the meantime), and run the full
+// Query. Aligned repeat queries therefore run genuinely in parallel, and
+// one crack pays for every reader that was waiting behind it.
+//
+// Wrapping is idempotent: Concurrent on an already-Concurrent engine
+// returns it unchanged.
+func Concurrent(e Engine) Engine {
+	if _, ok := e.(*rwEngine); ok {
+		return e
+	}
+	return &rwEngine{e: e}
+}
+
+// IsShared reports whether e is already safe to share across goroutines
+// (a Concurrent or Serialized wrapper).
+func IsShared(e Engine) bool {
+	switch e.(type) {
+	case *rwEngine, *syncEngine:
+		return true
+	}
+	return false
+}
+
+type rwEngine struct {
+	mu sync.RWMutex
+	e  Engine
+}
+
+func (s *rwEngine) Name() string { return s.e.Name() + " (concurrent)" }
+func (s *rwEngine) Kind() Kind   { return s.e.Kind() }
+
+func (s *rwEngine) Query(q Query) (Result, Cost) {
+	// Fast path: execute read-only under the shared lock.
+	s.mu.RLock()
+	res, cost, ok := s.e.QueryRO(q)
+	s.mu.RUnlock()
+	if ok {
+		return res, cost
+	}
+	// Slow path: the query needs reorganization. Double-check under the
+	// write lock — a writer that ran between the two lock acquisitions may
+	// have cracked the very same range already.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res, cost, ok := s.e.QueryRO(q); ok {
+		return res, cost
+	}
+	return s.e.Query(q)
+}
+
+func (s *rwEngine) Probe(q Query) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Probe(q)
+}
+
+func (s *rwEngine) QueryRO(q Query) (Result, Cost, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.QueryRO(q)
+}
+
+func (s *rwEngine) Insert(vals ...Value) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Insert(vals...)
+}
+
+func (s *rwEngine) Delete(key int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.e.Delete(key)
+}
+
+func (s *rwEngine) Prepare(attrs ...string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Prepare(attrs...)
+}
+
+func (s *rwEngine) Storage() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Storage()
+}
+
+func (s *rwEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
+	// Join selections crack both inputs; take the write lock up front.
+	s.mu.Lock()
+	ji, cost := s.e.JoinInput(preds, joinAttr, projs)
+	s.mu.Unlock()
+	inner := ji.Fetch
+	// Post-join fetches are pure reads (base columns or materialized
+	// intermediates); a shared lock suffices.
+	ji.Fetch = func(attr string, i int) Value {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return inner(attr, i)
+	}
+	return ji, cost
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"crackstore/internal/store"
+)
+
+// The concurrency property test: N goroutines fire a mixed
+// select/insert/delete workload through one shared Concurrent(e). Each
+// goroutine owns a disjoint value band (both in the base data and in its
+// updates), so every query's correct answer depends only on its own
+// goroutine's operation history — which lets the concurrent results be
+// checked, per query, against a sequential replay of that goroutine's
+// operations on a clone. Run with -race in CI; that is what makes the
+// RWMutex probe/execute protocol trustworthy.
+
+const (
+	bandWidth   = 1_000 // value band per goroutine
+	bandRows    = 300   // base rows per band
+	opsPerGor   = 40
+	nGoroutines = 4
+)
+
+type concOp struct {
+	kind int // 0 query, 1 insert, 2 delete
+	q    Query
+	vals []Value // insert: values in attribute order (A, B)
+	del  int     // delete: index into the goroutine's live-key list
+}
+
+// bandOps generates goroutine g's deterministic operation sequence, every
+// value confined to g's band.
+func bandOps(g int, seed int64) []concOp {
+	rng := rand.New(rand.NewSource(seed + int64(g)))
+	lo := int64(g * bandWidth)
+	ops := make([]concOp, opsPerGor)
+	for i := range ops {
+		switch r := rng.Intn(10); {
+		case r < 6: // query; both predicates stay strictly inside the band
+			qlo := lo + rng.Int63n(bandWidth-250)
+			q := Query{
+				Preds: []AttrPred{{Attr: "A", Pred: store.Range(qlo, qlo+1+rng.Int63n(200))}},
+				Projs: []string{"B"},
+			}
+			if rng.Intn(3) == 0 { // sometimes a second in-band predicate
+				blo := lo + rng.Int63n(bandWidth-450)
+				q.Preds = append(q.Preds, AttrPred{Attr: "B", Pred: store.Range(blo, blo+400)})
+				q.Disjunctive = rng.Intn(2) == 0
+			}
+			ops[i] = concOp{kind: 0, q: q}
+		case r < 8: // insert
+			ops[i] = concOp{kind: 1, vals: []Value{lo + rng.Int63n(bandWidth), lo + rng.Int63n(bandWidth)}}
+		default: // delete
+			ops[i] = concOp{kind: 2, del: rng.Intn(1 << 20)}
+		}
+	}
+	return ops
+}
+
+// buildBandedRel lays out nGoroutines*bandRows rows, band by band, so
+// goroutine g owns base keys [g*bandRows, (g+1)*bandRows).
+func buildBandedRel(seed int64) *store.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := store.NewRelation("R", "A", "B")
+	for g := 0; g < nGoroutines; g++ {
+		lo := int64(g * bandWidth)
+		for i := 0; i < bandRows; i++ {
+			rel.AppendRow(lo+rng.Int63n(bandWidth), lo+rng.Int63n(bandWidth))
+		}
+	}
+	return rel
+}
+
+// runOps applies g's operations to e and returns the result multiset of
+// every query (projection values sorted, plus the result count).
+func runOps(e Engine, g int, ops []concOp) [][]Value {
+	keys := make([]int, 0, bandRows+opsPerGor)
+	for i := 0; i < bandRows; i++ {
+		keys = append(keys, g*bandRows+i)
+	}
+	var results [][]Value
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			res, _ := e.Query(op.q)
+			vals := append([]Value(nil), res.Cols["B"]...)
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			vals = append(vals, Value(res.N))
+			results = append(results, vals)
+		case 1:
+			keys = append(keys, e.Insert(op.vals...))
+		case 2:
+			if len(keys) == 0 {
+				continue
+			}
+			i := op.del % len(keys)
+			e.Delete(keys[i])
+			keys = append(keys[:i], keys[i+1:]...)
+		}
+	}
+	return results
+}
+
+func valsEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConcurrentMatchesSequentialReplay(t *testing.T) {
+	const seed = 99
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			base := buildBandedRel(seed)
+			shared := Concurrent(New(kind, cloneRel(base)))
+
+			ops := make([][]concOp, nGoroutines)
+			for g := range ops {
+				ops[g] = bandOps(g, seed+7)
+			}
+
+			got := make([][][]Value, nGoroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < nGoroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					got[g] = runOps(shared, g, ops[g])
+				}(g)
+			}
+			wg.Wait()
+
+			// Sequential replay: each goroutine's operations alone on a
+			// fresh clone must produce identical per-query multisets.
+			for g := 0; g < nGoroutines; g++ {
+				want := runOps(New(kind, cloneRel(base)), g, ops[g])
+				if len(want) != len(got[g]) {
+					t.Fatalf("goroutine %d: %d results, want %d", g, len(got[g]), len(want))
+				}
+				for qi := range want {
+					if !valsEqual(want[qi], got[g][qi]) {
+						t.Fatalf("goroutine %d query %d: concurrent result %v != sequential replay %v",
+							g, qi, got[g][qi], want[qi])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentProbeConsistency checks the protocol contract on a live
+// engine: once a query has run, an identical repeat must probe as
+// reorganization-free and QueryRO must agree with Query.
+func TestConcurrentProbeConsistency(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			rel := buildRel(rng, 1000, []string{"A", "B"}, 400)
+			e := New(kind, rel)
+			q := Query{
+				Preds: []AttrPred{{Attr: "A", Pred: store.Range(50, 120)}},
+				Projs: []string{"B"},
+			}
+			first, _ := e.Query(q)
+			if e.Probe(q) {
+				t.Fatalf("%v: repeat query still probes as reorganizing", kind)
+			}
+			ro, _, ok := e.QueryRO(q)
+			if !ok {
+				t.Fatalf("%v: QueryRO refused an aligned repeat", kind)
+			}
+			if ro.N != first.N {
+				t.Fatalf("%v: QueryRO N=%d, Query N=%d", kind, ro.N, first.N)
+			}
+			a := append([]Value(nil), first.Cols["B"]...)
+			b := append([]Value(nil), ro.Cols["B"]...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if !valsEqual(a, b) {
+				t.Fatalf("%v: QueryRO multiset differs from Query", kind)
+			}
+
+			// An update relevant to the range must flip the probe back —
+			// except for the scan engine, whose inserts land directly in
+			// the base column with nothing pending to merge.
+			e.Insert(Value(60), Value(60))
+			if kind != Scan && !e.Probe(q) {
+				t.Fatalf("%v: probe missed a pending insertion in range", kind)
+			}
+			res, _ := e.Query(q)
+			if res.N != first.N+1 {
+				t.Fatalf("%v: post-insert N=%d, want %d", kind, res.N, first.N+1)
+			}
+			if e.Probe(q) {
+				t.Fatalf("%v: probe still reorganizing after merge", kind)
+			}
+		})
+	}
+}

@@ -90,11 +90,33 @@ type Cost struct {
 func (c Cost) Total() time.Duration { return c.Sel + c.TR }
 
 // Engine is one physical design wrapping a single relation.
+//
+// Engines follow a two-phase (probe/execute) query protocol: Probe asks,
+// read-only, whether a query would physically reorganize engine state;
+// QueryRO executes reorganization-free queries, reporting ok == false for
+// queries that would reorganize. Concurrent builds on QueryRO: it
+// attempts every query under a shared read lock and falls back to
+// exclusive access only when QueryRO refuses — i.e. when the query must
+// crack, merge pending updates, or maintain auxiliary structures. Probe
+// is the planning-side view of the same eligibility rule, for callers
+// (admission control, schedulers, tests) that want the answer without
+// executing.
 type Engine interface {
 	Name() string
 	Kind() Kind
 	// Query evaluates q and reports the cost split.
 	Query(q Query) (Result, Cost)
+	// Probe is the read-only half of the protocol: it reports whether
+	// Query(q) would physically reorganize engine state — crack a piece,
+	// merge a pending update, or build/align an auxiliary structure. It
+	// never mutates and is safe to call concurrently with other read-only
+	// operations.
+	Probe(q Query) bool
+	// QueryRO answers q without reorganizing anything. ok is false when
+	// reorganization is required; callers then fall back to Query under
+	// exclusive access. Safe to call concurrently with other read-only
+	// operations.
+	QueryRO(q Query) (Result, Cost, bool)
 	// Insert appends a tuple (attribute order of the relation); returns
 	// its key.
 	Insert(vals ...Value) int
@@ -219,6 +241,14 @@ func (e *scanEngine) Query(q Query) (Result, Cost) {
 	}
 	cost.TR = time.Since(t0)
 	return res, cost
+}
+
+// Probe: a full scan never reorganizes anything.
+func (e *scanEngine) Probe(q Query) bool { return false }
+
+func (e *scanEngine) QueryRO(q Query) (Result, Cost, bool) {
+	res, cost := e.Query(q)
+	return res, cost, true
 }
 
 func (e *scanEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
@@ -362,6 +392,92 @@ func (e *selCrackEngine) Query(q Query) (Result, Cost) {
 	return res, cost
 }
 
+// Probe reports whether q's selections would crack a cracker column or
+// merge a pending update (including the on-demand creation of a missing
+// cracker column).
+func (e *selCrackEngine) Probe(q Query) bool {
+	if len(q.Preds) == 0 {
+		return true
+	}
+	if q.Disjunctive {
+		for _, ap := range q.Preds {
+			c, ok := e.cols[ap.Attr]
+			if !ok || c.NeedsCrack(ap.Pred) {
+				return true
+			}
+		}
+		return false
+	}
+	c, ok := e.cols[q.Preds[0].Attr]
+	return !ok || c.NeedsCrack(q.Preds[0].Pred)
+}
+
+// selectKeysRO is the reorganization-free twin of selectKeys: it reads the
+// qualifying keys out of already-cracked areas. ok is false when any
+// touched column would reorganize.
+func (e *selCrackEngine) selectKeysRO(preds []AttrPred, disjunctive bool) ([]Value, bool) {
+	if len(preds) == 0 {
+		return nil, false
+	}
+	if disjunctive {
+		seen := make(map[Value]bool)
+		var keys []Value
+		for _, ap := range preds {
+			c, ok := e.cols[ap.Attr]
+			if !ok {
+				return nil, false
+			}
+			view, ok := c.SelectRO(ap.Pred)
+			if !ok {
+				return nil, false
+			}
+			for _, k := range view {
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+			}
+		}
+		return keys, true
+	}
+	c, ok := e.cols[preds[0].Attr]
+	if !ok {
+		return nil, false
+	}
+	view, ok := c.SelectRO(preds[0].Pred)
+	if !ok {
+		return nil, false
+	}
+	keys := append([]Value(nil), view...)
+	for _, ap := range preds[1:] {
+		keys = crack.RelSelect(keys, e.rel.MustColumn(ap.Attr), ap.Pred)
+		keys = e.dropDead(keys, ap)
+	}
+	return keys, true
+}
+
+func (e *selCrackEngine) QueryRO(q Query) (Result, Cost, bool) {
+	var cost Cost
+	t0 := time.Now()
+	keys, ok := e.selectKeysRO(q.Preds, q.Disjunctive)
+	if !ok {
+		return Result{}, Cost{}, false
+	}
+	cost.Sel = time.Since(t0)
+	t0 = time.Now()
+	res := Result{Cols: make(map[string][]Value, len(q.Projs)), N: len(keys)}
+	for _, attr := range q.Projs {
+		col := e.rel.MustColumn(attr)
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = col.Vals[int(k)] // random access: keys are unordered
+		}
+		res.Cols[attr] = out
+	}
+	cost.TR = time.Since(t0)
+	return res, cost, true
+}
+
 func (e *selCrackEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
 	var cost Cost
 	t0 := time.Now()
@@ -486,6 +602,26 @@ func (e *presortEngine) Query(q Query) (Result, Cost) {
 	return res, cost
 }
 
+// Probe reports whether the primary predicate's presorted copy is missing
+// or stale (updates force a full re-sort on the next query).
+func (e *presortEngine) Probe(q Query) bool {
+	if len(q.Preds) == 0 {
+		return true
+	}
+	primary := q.Preds[0].Attr
+	return e.ps.CopyFor(primary) == nil || e.stale[primary]
+}
+
+func (e *presortEngine) QueryRO(q Query) (Result, Cost, bool) {
+	if e.Probe(q) {
+		return Result{}, Cost{}, false
+	}
+	// With a fresh copy the query is a binary search plus aligned scans —
+	// no rebuild, no mutation.
+	res, cost := e.Query(q)
+	return res, cost, true
+}
+
 func (e *presortEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
 	var cost Cost
 	t0 := time.Now()
@@ -536,6 +672,29 @@ func (e *sidewaysEngine) Query(q Query) (Result, Cost) {
 	res := e.st.MultiSelect(q.Preds, q.Projs, q.Disjunctive)
 	cost.Sel = time.Since(t0)
 	return Result{Cols: res.Cols, N: res.N}, cost
+}
+
+// Probe reports whether the query would crack a map, merge pending
+// updates, materialize a map, or grow the set's cracker tape.
+func (e *sidewaysEngine) Probe(q Query) bool {
+	if len(q.Preds) == 0 {
+		return true
+	}
+	return e.st.ProbeMulti(q.Preds, q.Projs, q.Disjunctive)
+}
+
+func (e *sidewaysEngine) QueryRO(q Query) (Result, Cost, bool) {
+	if len(q.Preds) == 0 {
+		return Result{}, Cost{}, false
+	}
+	var cost Cost
+	t0 := time.Now()
+	res, ok := e.st.MultiSelectRO(q.Preds, q.Projs, q.Disjunctive)
+	if !ok {
+		return Result{}, Cost{}, false
+	}
+	cost.Sel = time.Since(t0)
+	return Result{Cols: res.Cols, N: res.N}, cost, true
 }
 
 func (e *sidewaysEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
@@ -589,6 +748,29 @@ func (e *partialEngine) Query(q Query) (Result, Cost) {
 	res := e.st.MultiSelect(q.Preds, q.Projs, q.Disjunctive)
 	cost.Sel = time.Since(t0)
 	return Result{Cols: res.Cols, N: res.N}, cost
+}
+
+// Probe reports whether the query would fetch an area, create or replay a
+// chunk, crack, merge pending updates, or grow an area tape.
+func (e *partialEngine) Probe(q Query) bool {
+	if len(q.Preds) == 0 {
+		return true
+	}
+	return e.st.ProbeMulti(q.Preds, q.Projs, q.Disjunctive)
+}
+
+func (e *partialEngine) QueryRO(q Query) (Result, Cost, bool) {
+	if len(q.Preds) == 0 {
+		return Result{}, Cost{}, false
+	}
+	var cost Cost
+	t0 := time.Now()
+	res, ok := e.st.MultiSelectRO(q.Preds, q.Projs, q.Disjunctive)
+	if !ok {
+		return Result{}, Cost{}, false
+	}
+	cost.Sel = time.Since(t0)
+	return Result{Cols: res.Cols, N: res.N}, cost, true
 }
 
 func (e *partialEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {

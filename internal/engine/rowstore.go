@@ -107,6 +107,14 @@ func (e *rowStoreEngine) Query(q Query) (Result, Cost) {
 	return res, cost
 }
 
+// Probe: the read-only row store never reorganizes during queries.
+func (e *rowStoreEngine) Probe(q Query) bool { return false }
+
+func (e *rowStoreEngine) QueryRO(q Query) (Result, Cost, bool) {
+	res, cost := e.Query(q)
+	return res, cost, true
+}
+
 func (e *rowStoreEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
 	var cost Cost
 	t0 := time.Now()

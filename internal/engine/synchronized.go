@@ -5,13 +5,21 @@ import (
 	"time"
 )
 
-// Synchronized wraps an engine with a mutex. Cracking engines physically
-// reorganize their structures as a side effect of queries — reads are
-// writes — so any concurrent use must be serialized. This mirrors the
-// paper's setting (cracking happens in the critical path of a single
-// query executor) while making the library safe to share across
-// goroutines.
-func Synchronized(e Engine) Engine {
+// Synchronized wraps an engine so it can be shared across goroutines.
+//
+// Deprecated: Synchronized is now a thin shim over Concurrent, which uses
+// the two-phase probe/execute protocol to serve reorganization-free
+// queries in parallel instead of serializing everything behind one mutex.
+// Call Concurrent directly in new code. The fully serialized wrapper is
+// still available as Serialized for use as a benchmark baseline.
+func Synchronized(e Engine) Engine { return Concurrent(e) }
+
+// Serialized wraps an engine with a single mutex: every operation —
+// including queries that would reorganize nothing — runs exclusively.
+// This mirrors the paper's setting (cracking happens in the critical path
+// of a single query executor) and serves as the baseline the Concurrent
+// wrapper is benchmarked against.
+func Serialized(e Engine) Engine {
 	if _, ok := e.(*syncEngine); ok {
 		return e
 	}
@@ -23,13 +31,25 @@ type syncEngine struct {
 	e  Engine
 }
 
-func (s *syncEngine) Name() string { return s.e.Name() + " (synchronized)" }
+func (s *syncEngine) Name() string { return s.e.Name() + " (serialized)" }
 func (s *syncEngine) Kind() Kind   { return s.e.Kind() }
 
 func (s *syncEngine) Query(q Query) (Result, Cost) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.e.Query(q)
+}
+
+func (s *syncEngine) Probe(q Query) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Probe(q)
+}
+
+func (s *syncEngine) QueryRO(q Query) (Result, Cost, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.QueryRO(q)
 }
 
 func (s *syncEngine) Insert(vals ...Value) int {

@@ -23,6 +23,14 @@ type benchLineJSON struct {
 	CumulativeUs []int64 `json:"cumulative_us"`
 }
 
+// WriteSeriesJSON writes one panel of per-query latency series in the
+// BENCH_<name>.json format used by the experiment harness, so ad-hoc
+// benchmark drivers (crackbench -clients) emit series future PRs can diff
+// against.
+func WriteSeriesJSON(dir, name, title, xlabel string, series []Series) error {
+	return Config{JSONDir: dir}.jsonSeries(name, title, xlabel, series)
+}
+
 // jsonSeries writes the full per-query and cumulative latency series of one
 // figure panel as BENCH_<name>.json into Config.JSONDir.
 func (c Config) jsonSeries(name string, title, xlabel string, series []Series) error {

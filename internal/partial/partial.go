@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"crackstore/internal/bitvec"
 	"crackstore/internal/crack"
@@ -58,9 +60,10 @@ type entry struct {
 // chunk is one materialized piece of a partial map: a (head, tail) pairs
 // table covering its area's value range, plus a cursor into the area tape.
 type chunk struct {
-	p           *crack.Pairs
-	cursor      int
-	access      int
+	p      *crack.Pairs
+	cursor int
+	access int64 // bumped atomically by the read-only path, plainly under
+	// exclusive access (LFU storage management)
 	headDropped bool
 	lastCrack   int // store query counter at the last replayed crack entry
 }
@@ -90,7 +93,7 @@ type area struct {
 	// from.
 	lastUpdate int
 	chunks     map[string]*chunk
-	access     int
+	access     int64
 }
 
 // covers reports whether bound b falls in [loB, hiB).
@@ -141,6 +144,7 @@ type Store struct {
 
 	queries        int
 	pinnedAreas    map[*area]bool // areas resolved by the in-flight query
+	statsMu        sync.Mutex     // guards colMin/colMax (lazily filled by read-only probes)
 	colMin, colMax map[string]Value
 }
 
@@ -399,7 +403,7 @@ func (set *Set) replay(w *area, c *chunk, end int, tailAttr string) {
 		case entryInsert:
 			c.p.RippleInsertKeys(e.keys, headCol, tailCol)
 		case entryDelete:
-			c.p.RemovePositions(e.positions)
+			c.p.RippleDeleteBatch(e.positions)
 		}
 	}
 }
@@ -407,9 +411,7 @@ func (set *Set) replay(w *area, c *chunk, end int, tailAttr string) {
 // boundsKnown reports whether both bounds of pred are already boundaries in
 // the chunk's index, making a crack replay a physical no-op.
 func boundsKnown(c *chunk, pred store.Pred) bool {
-	_, ok1 := c.p.Idx.Lookup(pred.LowerBound())
-	_, ok2 := c.p.Idx.Lookup(pred.UpperBound())
-	return ok1 && ok2
+	return c.p.Idx.Has(pred.LowerBound()) && c.p.Idx.Has(pred.UpperBound())
 }
 
 // recoverHead restores a dropped head column (Section 4.1). Fast path: copy
@@ -445,7 +447,7 @@ func (set *Set) recoverHead(w *area, c *chunk) {
 			}
 			tmp.RippleInsertBatch(vals, make([]Value, len(e.keys)))
 		case entryDelete:
-			tmp.RemovePositions(e.positions)
+			tmp.RippleDeleteBatch(e.positions)
 		}
 	}
 	c.p.Head = tmp.Head
@@ -749,6 +751,8 @@ func (s *Store) EstimateSelectivity(attr string, pred store.Pred) int {
 }
 
 func (s *Store) colStats(attr string) (lo, hi Value) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	if l, ok := s.colMin[attr]; ok {
 		return l, s.colMax[attr]
 	}
@@ -778,13 +782,13 @@ func (s *Store) SelectProject(selAttr string, pred store.Pred, projs []string) R
 	return res
 }
 
-// MultiSelect evaluates a multi-selection query (Section 3.3 semantics on
-// partial maps, processed chunk by chunk).
-func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) Result {
-	if len(preds) == 0 {
-		panic("partial: MultiSelect requires at least one predicate")
-	}
+// choosePred picks the plan's head predicate: the most (conjunctive) or
+// least (disjunctive) selective one per the chunk-map histograms. Read-only.
+func (s *Store) choosePred(preds []AttrPred, disjunctive bool) int {
 	chosen := 0
+	if len(preds) == 1 {
+		return 0
+	}
 	bestEst := s.EstimateSelectivity(preds[0].Attr, preds[0].Pred)
 	for i := 1; i < len(preds); i++ {
 		est := s.EstimateSelectivity(preds[i].Attr, preds[i].Pred)
@@ -796,15 +800,24 @@ func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) 
 			chosen, bestEst = i, est
 		}
 	}
-	head := preds[chosen]
-	others := make([]AttrPred, 0, len(preds)-1)
+	return chosen
+}
+
+// multiPlan lays out a multi-selection plan: head and secondary predicates
+// plus the tail-attribute slots (others first, then projections, then the
+// head attribute itself for disjunctions, which must evaluate the head
+// predicate outside its cracked region).
+func (s *Store) multiPlan(preds []AttrPred, projs []string, disjunctive bool) (head AttrPred, others []AttrPred, tailAttrs []string, tailOf map[string]int) {
+	chosen := s.choosePred(preds, disjunctive)
+	others = make([]AttrPred, 0, len(preds)-1)
 	for i, ap := range preds {
 		if i != chosen {
 			others = append(others, ap)
 		}
 	}
-	tailAttrs := make([]string, 0, len(others)+len(projs))
-	tailOf := make(map[string]int)
+	head = preds[chosen]
+	tailAttrs = make([]string, 0, len(others)+len(projs)+1)
+	tailOf = make(map[string]int)
 	add := func(attr string) {
 		if _, ok := tailOf[attr]; !ok {
 			tailOf[attr] = len(tailAttrs)
@@ -817,49 +830,73 @@ func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) 
 	for _, attr := range projs {
 		add(attr)
 	}
+	if disjunctive {
+		add(head.Attr)
+	}
+	return head, others, tailAttrs, tailOf
+}
+
+// MultiSelect evaluates a multi-selection query (Section 3.3 semantics on
+// partial maps, processed chunk by chunk).
+func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) Result {
+	if len(preds) == 0 {
+		panic("partial: MultiSelect requires at least one predicate")
+	}
+	head, others, tailAttrs, tailOf := s.multiPlan(preds, projs, disjunctive)
 	set := s.Set(head.Attr)
 
 	if disjunctive {
-		// The whole domain is relevant; also materialize the head values
-		// to evaluate the head predicate outside its cracked region.
-		add(head.Attr)
+		// The whole domain is relevant.
 		regions := set.Query(FullRange, tailAttrs)
-		res := Result{Cols: make(map[string][]Value, len(projs))}
-		headIdx := tailOf[head.Attr]
-		for _, r := range regions {
-			n := r.Chunks[0].Len()
-			bv := bitvec.New(n)
-			headTail := r.Chunks[headIdx].p.Tail
-			for i := 0; i < n; i++ {
-				if head.Pred.Matches(headTail[i]) {
-					bv.Set(i)
-					continue
-				}
-				for _, ap := range others {
-					if ap.Pred.Matches(r.Chunks[tailOf[ap.Attr]].p.Tail[i]) {
-						bv.Set(i)
-						break
-					}
-				}
-			}
-			res.N += bv.Count()
-			for _, attr := range projs {
-				vals := sideways.ReconstructBV(r.Chunks[tailOf[attr]].p.Tail, 0, bv)
-				res.Cols[attr] = append(res.Cols[attr], vals...)
-			}
-		}
-		if res.Cols == nil {
-			res.Cols = map[string][]Value{}
-		}
-		for _, attr := range projs {
-			if res.Cols[attr] == nil {
-				res.Cols[attr] = []Value{}
-			}
-		}
-		return res
+		return disjunctiveRegions(regions, tailOf, head, others, projs)
 	}
-
 	regions := set.Query(head.Pred, tailAttrs)
+	return conjunctiveRegions(regions, tailOf, others, projs)
+}
+
+// disjunctiveRegions finishes a disjunctive plan: per region, mark tuples
+// matching any predicate and reconstruct the projections. A pure read over
+// the aligned chunks, shared by the write path and the read-only path.
+func disjunctiveRegions(regions []Region, tailOf map[string]int, head AttrPred, others []AttrPred, projs []string) Result {
+	res := Result{Cols: make(map[string][]Value, len(projs))}
+	headIdx := tailOf[head.Attr]
+	for _, r := range regions {
+		n := r.Chunks[0].Len()
+		bv := bitvec.New(n)
+		headTail := r.Chunks[headIdx].p.Tail
+		for i := 0; i < n; i++ {
+			if head.Pred.Matches(headTail[i]) {
+				bv.Set(i)
+				continue
+			}
+			for _, ap := range others {
+				if ap.Pred.Matches(r.Chunks[tailOf[ap.Attr]].p.Tail[i]) {
+					bv.Set(i)
+					break
+				}
+			}
+		}
+		res.N += bv.Count()
+		for _, attr := range projs {
+			vals := sideways.ReconstructBV(r.Chunks[tailOf[attr]].p.Tail, 0, bv)
+			res.Cols[attr] = append(res.Cols[attr], vals...)
+		}
+	}
+	if res.Cols == nil {
+		res.Cols = map[string][]Value{}
+	}
+	for _, attr := range projs {
+		if res.Cols[attr] == nil {
+			res.Cols[attr] = []Value{}
+		}
+	}
+	return res
+}
+
+// conjunctiveRegions finishes a conjunctive plan: per region, refine the
+// qualifying range with a bit vector for the secondary predicates and
+// reconstruct the projections. Pure read, shared by both paths.
+func conjunctiveRegions(regions []Region, tailOf map[string]int, others []AttrPred, projs []string) Result {
 	res := Result{Cols: make(map[string][]Value, len(projs))}
 	for _, attr := range projs {
 		res.Cols[attr] = []Value{}
@@ -888,6 +925,181 @@ func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) 
 		}
 	}
 	return res
+}
+
+// pendingTouches reports whether any pending insertion or deletion of the
+// set falls inside pred's value range. Read-only.
+func (set *Set) pendingTouches(pred store.Pred) bool {
+	if len(set.pendIns) == 0 && len(set.pendDel) == 0 {
+		return false
+	}
+	headCol := set.st.rel.MustColumn(set.attr)
+	for _, k := range set.pendIns {
+		if pred.Matches(headCol.Vals[k]) {
+			return true
+		}
+	}
+	for k := range set.pendDel {
+		if pred.Matches(headCol.Vals[k]) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveRO returns, in value order, the fetched areas covering pred, or
+// ok == false when a gap would have to be fetched from H_A (a write).
+// Read-only counterpart of resolve.
+func (set *Set) resolveRO(pred store.Pred) ([]*area, bool) {
+	lowerB, upperB := pred.LowerBound(), pred.UpperBound()
+	if !lowerB.Less(upperB) {
+		return nil, true
+	}
+	var out []*area
+	cur := lowerB
+	i := 0
+	for cur.Less(upperB) {
+		for i < len(set.areas) && !cur.Less(set.areas[i].hiB) {
+			i++
+		}
+		if i >= len(set.areas) || cur.Less(set.areas[i].loB) {
+			return nil, false
+		}
+		out = append(out, set.areas[i])
+		cur = set.areas[i].hiB
+		i++
+	}
+	return out, true
+}
+
+// regionsRO builds the chunk-wise regions for pred without replaying,
+// fetching, or cracking anything. ok is false when the write path would
+// reorganize: a gap needs fetching, a chunk is missing or misaligned, or a
+// boundary chunk lacks the predicate's physical bounds.
+func (s *Store) regionsRO(set *Set, pred store.Pred, tailAttrs []string) ([]Region, bool) {
+	areas, ok := set.resolveRO(pred)
+	if !ok {
+		return nil, false
+	}
+	if len(areas) == 0 {
+		return nil, true
+	}
+	lowerB, upperB := pred.LowerBound(), pred.UpperBound()
+	first, last := areas[0], areas[len(areas)-1]
+	regions := make([]Region, 0, len(areas))
+	for _, w := range areas {
+		chunks := make([]*chunk, len(tailAttrs))
+		cursor := -1
+		for i, attr := range tailAttrs {
+			c, ok := w.chunks[attr]
+			if !ok {
+				return nil, false
+			}
+			// The write path replays laggards to a shared target; a cursor
+			// mismatch among the used chunks means replay work.
+			if cursor == -1 {
+				cursor = c.cursor
+			} else if c.cursor != cursor {
+				return nil, false
+			}
+			chunks[i] = c
+		}
+		if len(tailAttrs) > 0 {
+			if boundaryArea(w, first, last, lowerB, upperB) || s.ForceFullAlignment {
+				// Boundary chunks must already sit at the tape end (the
+				// write path would replay this query's crack onto them).
+				if cursor != len(w.tape) {
+					return nil, false
+				}
+			} else if cursor < w.lastUpdate {
+				// Partial alignment may lag on cracks but never on updates.
+				return nil, false
+			}
+		}
+		lo, hi := 0, 0
+		if len(chunks) > 0 {
+			hi = chunks[0].Len()
+			if w == first && first.loB.Less(lowerB) {
+				p, ok := chunks[0].p.Idx.Lookup(lowerB)
+				if !ok {
+					return nil, false
+				}
+				lo = p
+			}
+			if w == last && upperB.Less(last.hiB) {
+				p, ok := chunks[0].p.Idx.Lookup(upperB)
+				if !ok {
+					return nil, false
+				}
+				hi = p
+			}
+			if hi < lo {
+				hi = lo
+			}
+		}
+		regions = append(regions, Region{Chunks: chunks, Lo: lo, Hi: hi})
+	}
+	return regions, true
+}
+
+// planRO resolves a full read-only plan or reports ok == false when the
+// query needs the write path.
+func (s *Store) planRO(preds []AttrPred, projs []string, disjunctive bool) (regions []Region, tailOf map[string]int, head AttrPred, others []AttrPred, ok bool) {
+	if len(preds) == 0 {
+		return nil, nil, head, nil, false
+	}
+	var tailAttrs []string
+	head, others, tailAttrs, tailOf = s.multiPlan(preds, projs, disjunctive)
+	set := s.sets[head.Attr]
+	if set == nil {
+		return nil, nil, head, nil, false
+	}
+	pred := head.Pred
+	if disjunctive {
+		pred = FullRange
+	}
+	if set.pendingTouches(pred) {
+		return nil, nil, head, nil, false
+	}
+	regions, ok = s.regionsRO(set, pred, tailAttrs)
+	if !ok {
+		return nil, nil, head, nil, false
+	}
+	return regions, tailOf, head, others, true
+}
+
+// ProbeMulti is the read-only probe of the two-phase (probe/execute)
+// protocol: it reports whether MultiSelect(preds, projs, disjunctive) would
+// physically reorganize the store (fetch an area, create or replay a chunk,
+// crack, merge pending updates, or grow a tape). Safe for concurrent use
+// with other read-only operations.
+func (s *Store) ProbeMulti(preds []AttrPred, projs []string, disjunctive bool) bool {
+	_, _, _, _, ok := s.planRO(preds, projs, disjunctive)
+	return !ok
+}
+
+// MultiSelectRO is the reorganization-free execute path paired with
+// ProbeMulti: it answers the query only when every needed chunk exists,
+// is sufficiently aligned, and no pending update or fetch is required.
+// ok is false otherwise; callers then fall back to MultiSelect under
+// exclusive access. LFU access counters are bumped atomically; the
+// head-drop idle clock is not advanced by read-only queries.
+func (s *Store) MultiSelectRO(preds []AttrPred, projs []string, disjunctive bool) (Result, bool) {
+	regions, tailOf, head, others, ok := s.planRO(preds, projs, disjunctive)
+	if !ok {
+		return Result{}, false
+	}
+	// No dedup needed: regions are one per area and a region's chunks are
+	// keyed by distinct tail attributes, so no chunk repeats.
+	for _, r := range regions {
+		for _, c := range r.Chunks {
+			atomic.AddInt64(&c.access, 1)
+		}
+	}
+	if disjunctive {
+		return disjunctiveRegions(regions, tailOf, head, others, projs), true
+	}
+	return conjunctiveRegions(regions, tailOf, others, projs), true
 }
 
 // sanity check helper used by tests: verify every chunk's piece invariants.

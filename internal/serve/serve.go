@@ -1,0 +1,311 @@
+// Package serve implements the concurrent query-serving layer: a bounded
+// executor that runs queries from many clients against one shared engine,
+// with per-query latency capture and optional admission batching.
+//
+// The layer builds on the engine two-phase (probe/execute) protocol: the
+// engine is wrapped in engine.Concurrent, so reorganization-free queries —
+// the vast majority after a warm-up — run in parallel under a shared read
+// lock, and only queries that must crack, merge pending updates, or
+// maintain auxiliary structures serialize behind the write lock.
+//
+// Without batching, queries execute directly on the submitting goroutine
+// under a concurrency-limiting semaphore (Workers slots) — no handoff, no
+// context switch. With admission batching (Options.Batch), queries instead
+// flow through an admission queue where a dispatcher groups them by
+// primary selection attribute and hands each group to a worker: the first
+// query of a group pays the crack for its value range, the rest
+// immediately hit the read-only fast path — one crack pays for many
+// waiters. Groups over different attributes still run in parallel across
+// the pool.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crackstore/internal/engine"
+)
+
+// Options tunes the server.
+type Options struct {
+	// Workers bounds the number of concurrently executing queries; 0
+	// means GOMAXPROCS.
+	Workers int
+	// Queue is the admission-queue capacity in batching mode; 0 means 4x
+	// Workers.
+	Queue int
+	// Batch enables admission batching of same-attribute queries.
+	Batch bool
+	// BatchWindow optionally holds a batch open for this long to collect
+	// more queries; 0 (the default) batches only queries already waiting
+	// in the admission queue, adding no artificial latency. Only used
+	// when Batch is set.
+	BatchWindow time.Duration
+	// BatchMax caps the queries collected into one admission batch;
+	// 0 means 64. Only used when Batch is set.
+	BatchMax int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 4 * o.Workers
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 64
+	}
+	return o
+}
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("serve: server is closed")
+
+// ErrEmptyQuery is returned for queries without predicates.
+var ErrEmptyQuery = errors.New("serve: query has no predicates")
+
+type request struct {
+	q    engine.Query
+	t0   time.Time
+	res  engine.Result
+	cost engine.Cost
+	err  error
+	done chan struct{}
+}
+
+// Server executes queries from many clients against one shared engine.
+type Server struct {
+	e    engine.Engine
+	opts Options
+
+	sem chan struct{} // direct mode: concurrency-limiting semaphore
+
+	admit chan *request   // batching mode: admission queue
+	work  chan []*request // batching mode: dispatcher -> worker pool
+	wg    sync.WaitGroup  // batching mode: workers + dispatcher
+
+	inDo      sync.WaitGroup // Do calls in flight (both modes)
+	closed    atomic.Bool
+	firstOnce sync.Once
+
+	mu    sync.Mutex
+	lats  []time.Duration
+	first time.Time // first submission
+	last  time.Time // last completion
+}
+
+// New starts a server over e. Unless e is already a shared-safe wrapper
+// (engine.Concurrent or engine.Serialized), it is wrapped in
+// engine.Concurrent. Close must be called to release the pool.
+func New(e engine.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	if !engine.IsShared(e) {
+		e = engine.Concurrent(e)
+	}
+	s := &Server{e: e, opts: opts}
+	if opts.Batch {
+		s.admit = make(chan *request, opts.Queue)
+		s.work = make(chan []*request, opts.Queue)
+		for i := 0; i < opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+		s.wg.Add(1)
+		go s.dispatch()
+	} else {
+		s.sem = make(chan struct{}, opts.Workers)
+	}
+	return s
+}
+
+// Engine returns the shared (wrapped) engine the server executes against.
+func (s *Server) Engine() engine.Engine { return s.e }
+
+// Do submits q and blocks until it has been executed, returning the result
+// and the engine cost split. The captured latency spans submission to
+// completion, including queue or semaphore wait time. Do is safe to call
+// from any number of goroutines.
+func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
+	if len(q.Preds) == 0 {
+		return engine.Result{}, engine.Cost{}, ErrEmptyQuery
+	}
+	t0 := time.Now()
+	// Register before checking closed: Close flips the flag first and then
+	// waits for inDo, so a Do that passed the check is always waited for.
+	s.inDo.Add(1)
+	defer s.inDo.Done()
+	if s.closed.Load() {
+		return engine.Result{}, engine.Cost{}, ErrClosed
+	}
+	s.firstOnce.Do(func() {
+		s.mu.Lock()
+		s.first = t0
+		s.mu.Unlock()
+	})
+
+	if !s.opts.Batch {
+		// Direct mode: execute on this goroutine under the semaphore.
+		s.sem <- struct{}{}
+		res, cost, err := safeQuery(s.e, q)
+		<-s.sem
+		if err != nil {
+			return res, cost, err
+		}
+		s.record(time.Since(t0), t0)
+		return res, cost, nil
+	}
+
+	req := &request{q: q, t0: t0, done: make(chan struct{})}
+	s.admit <- req
+	<-req.done
+	return req.res, req.cost, req.err
+}
+
+// safeQuery converts an engine panic (e.g. a predicate naming a column the
+// relation does not have) into an error, so a malformed query can neither
+// leak a semaphore slot nor kill a worker and strand its group's waiters.
+func safeQuery(e engine.Engine, q engine.Query) (res engine.Result, cost engine.Cost, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: query panicked: %v", r)
+		}
+	}()
+	res, cost = e.Query(q)
+	return res, cost, nil
+}
+
+func (s *Server) record(lat time.Duration, t0 time.Time) {
+	s.mu.Lock()
+	s.lats = append(s.lats, lat)
+	if t := t0.Add(lat); t.After(s.last) {
+		s.last = t
+	}
+	s.mu.Unlock()
+}
+
+// dispatch moves requests from the admission queue to the worker pool,
+// batching same-attribute queries.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	defer close(s.work)
+	for req := range s.admit {
+		batch := []*request{req}
+		if s.opts.BatchWindow > 0 {
+			deadline := time.NewTimer(s.opts.BatchWindow)
+		windowed:
+			for len(batch) < s.opts.BatchMax {
+				select {
+				case r, ok := <-s.admit:
+					if !ok {
+						break windowed
+					}
+					batch = append(batch, r)
+				case <-deadline.C:
+					break windowed
+				}
+			}
+			deadline.Stop()
+		} else {
+		drain:
+			// Batch whatever queued up while the workers were busy; never
+			// hold a query back waiting for company.
+			for len(batch) < s.opts.BatchMax {
+				select {
+				case r, ok := <-s.admit:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+		}
+		// Group by primary attribute, preserving arrival order within a
+		// group: the group's first query cracks, the rest ride the
+		// read-only fast path.
+		order := make([]string, 0, 4)
+		groups := make(map[string][]*request, 4)
+		for _, r := range batch {
+			attr := r.q.Preds[0].Attr
+			if _, ok := groups[attr]; !ok {
+				order = append(order, attr)
+			}
+			groups[attr] = append(groups[attr], r)
+		}
+		for _, attr := range order {
+			s.work <- groups[attr]
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for group := range s.work {
+		for _, req := range group {
+			req.res, req.cost, req.err = safeQuery(s.e, req.q)
+			if req.err == nil {
+				s.record(time.Since(req.t0), req.t0)
+			}
+			close(req.done)
+		}
+	}
+}
+
+// Close waits for in-flight queries, drains the queues, and stops the
+// pool. Close is idempotent; Do after Close returns ErrClosed.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.inDo.Wait() // let racing Do calls finish
+	if s.opts.Batch {
+		close(s.admit)
+		s.wg.Wait()
+	}
+}
+
+// Stats summarizes the serving run so far.
+type Stats struct {
+	Queries int           // completed queries
+	Elapsed time.Duration // first submission to last completion
+	QPS     float64       // Queries / Elapsed
+
+	P50, P95, P99, Max time.Duration // latency percentiles (wait + execute)
+
+	// Latencies holds every captured per-query latency in completion
+	// order (a copy; safe to keep).
+	Latencies []time.Duration
+}
+
+// Stats captures a consistent snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	lats := append([]time.Duration(nil), s.lats...)
+	first, last := s.first, s.last
+	s.mu.Unlock()
+
+	st := Stats{Queries: len(lats), Latencies: lats}
+	if len(lats) == 0 {
+		return st
+	}
+	st.Elapsed = last.Sub(first)
+	if st.Elapsed > 0 {
+		st.QPS = float64(st.Queries) / st.Elapsed.Seconds()
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	st.P50, st.P95, st.P99 = pct(0.50), pct(0.95), pct(0.99)
+	st.Max = sorted[len(sorted)-1]
+	return st
+}

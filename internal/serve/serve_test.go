@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/store"
+)
+
+func buildRel(rng *rand.Rand, n int, domain int64) *store.Relation {
+	return store.Build("R", n, []string{"A", "B"}, func(attr string, row int) store.Value {
+		return rng.Int63n(domain)
+	})
+}
+
+// TestServeMatchesDirectCounts fires many clients at one shared sideways
+// engine and checks every result count against a direct scan of the base
+// relation (read-only workload, so counts are stable).
+func TestServeMatchesDirectCounts(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(11))
+		rel := buildRel(rng, 4000, 500)
+		srv := New(engine.New(engine.Sideways, rel), Options{Workers: 4, Batch: batch})
+
+		preds := make([]store.Pred, 16)
+		want := make([]int, 16)
+		for i := range preds {
+			lo := rng.Int63n(450)
+			preds[i] = store.Range(lo, lo+40)
+			want[i] = store.SelectCount(rel.MustColumn("A"), preds[i])
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan string, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(seed)))
+				for i := 0; i < 40; i++ {
+					j := r.Intn(len(preds))
+					res, _, err := srv.Do(engine.Query{
+						Preds: []engine.AttrPred{{Attr: "A", Pred: preds[j]}},
+						Projs: []string{"B"},
+					})
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					if res.N != want[j] {
+						errs <- "wrong result count"
+						return
+					}
+					if len(res.Cols["B"]) != want[j] {
+						errs <- "projection length mismatch"
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatalf("batch=%v: %s", batch, e)
+		}
+
+		st := srv.Stats()
+		if st.Queries != 8*40 {
+			t.Fatalf("batch=%v: stats recorded %d queries, want %d", batch, st.Queries, 8*40)
+		}
+		if st.QPS <= 0 || st.P50 <= 0 || st.P99 < st.P50 || st.Max < st.P99 {
+			t.Fatalf("batch=%v: implausible stats %+v", batch, st)
+		}
+		srv.Close()
+		if _, _, err := srv.Do(engine.Query{
+			Preds: []engine.AttrPred{{Attr: "A", Pred: preds[0]}},
+		}); err != ErrClosed {
+			t.Fatalf("batch=%v: Do after Close = %v, want ErrClosed", batch, err)
+		}
+	}
+}
+
+// TestServeSurvivesPanickingQuery: a query naming a nonexistent attribute
+// panics inside the engine; the server must surface it as an error and
+// keep serving (no leaked semaphore slot, no stranded batch waiters).
+func TestServeSurvivesPanickingQuery(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		rel := buildRel(rand.New(rand.NewSource(4)), 500, 100)
+		srv := New(engine.New(engine.Sideways, rel), Options{Workers: 2, Batch: batch})
+		bad := engine.Query{Preds: []engine.AttrPred{{Attr: "nope", Pred: store.Range(0, 10)}}}
+		good := engine.Query{Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(0, 10)}}, Projs: []string{"B"}}
+		for i := 0; i < 8; i++ { // more bad queries than worker slots
+			if _, _, err := srv.Do(bad); err == nil {
+				t.Fatalf("batch=%v: panicking query returned no error", batch)
+			}
+		}
+		if _, _, err := srv.Do(good); err != nil {
+			t.Fatalf("batch=%v: server unusable after panics: %v", batch, err)
+		}
+		srv.Close()
+	}
+}
+
+func TestServeRejectsEmptyQuery(t *testing.T) {
+	rel := buildRel(rand.New(rand.NewSource(3)), 100, 50)
+	srv := New(engine.New(engine.Scan, rel), Options{Workers: 1})
+	defer srv.Close()
+	if _, _, err := srv.Do(engine.Query{}); err != ErrEmptyQuery {
+		t.Fatalf("Do(empty) = %v, want ErrEmptyQuery", err)
+	}
+}

@@ -21,6 +21,8 @@ package sideways
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"crackstore/internal/bitvec"
 	"crackstore/internal/crack"
@@ -53,8 +55,9 @@ type entry struct {
 type Map struct {
 	tailAttr string // "" for the key map
 	pairs    *crack.Pairs
-	cursor   int // tape position of the last replayed entry
-	access   int // queries that used this map (for LFU storage management)
+	cursor   int   // tape position of the last replayed entry
+	access   int64 // queries that used this map (for LFU storage management);
+	// bumped atomically by the read-only path, plainly under exclusive access
 }
 
 // Len returns the number of tuples currently in the map.
@@ -115,6 +118,7 @@ type Store struct {
 	// histograms for the most selective one (Section 3.3).
 	NaiveSetChoice bool
 
+	statsMu        sync.Mutex       // guards colMin/colMax (lazily filled by read-only probes)
 	colMin, colMax map[string]Value // cached base column stats for fallback estimation
 }
 
@@ -198,6 +202,10 @@ func (s *Store) Set(attr string) *Set {
 	if set, ok := s.sets[attr]; ok {
 		return set
 	}
+	// Validate before registering: a panic on an unknown attribute must
+	// not leave a half-created set behind (a later read-only probe would
+	// mistake it for real cracking knowledge).
+	s.rel.MustColumn(attr)
 	set := &Set{
 		st:      s,
 		attr:    attr,
@@ -252,7 +260,7 @@ func (set *Set) replay(m *Map, end int) {
 		case entryInsert:
 			m.pairs.RippleInsertKeys(e.keys, headCol, tailCol)
 		case entryDelete:
-			m.pairs.RemovePositions(e.positions)
+			m.pairs.RippleDeleteBatch(e.positions)
 		}
 	}
 }
@@ -436,6 +444,8 @@ func (s *Store) EstimateSelectivity(attr string, pred store.Pred) int {
 }
 
 func (s *Store) colStats(attr string) (lo, hi Value) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	if l, ok := s.colMin[attr]; ok {
 		return l, s.colMax[attr]
 	}
@@ -475,17 +485,14 @@ func (s *Store) SelectProject(selAttr string, pred store.Pred, projs []string) R
 	return res
 }
 
-// MultiSelect evaluates a multi-selection query with optional projections
-// (Section 3.3). Conjunctive plans pick the most selective predicate's set
-// and filter the aligned candidate area with a bit vector
-// (select_create_bv / select_refine_bv / reconstruct); disjunctive plans
-// pick the least selective set and a map-sized bit vector.
-func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) Result {
-	if len(preds) == 0 {
-		panic("sideways: MultiSelect requires at least one predicate")
-	}
-	// Map set choice via self-organizing histograms.
+// choosePred picks the plan's head predicate: the most (conjunctive) or
+// least (disjunctive) selective one per the self-organizing histograms, or
+// simply the first under the NaiveSetChoice ablation. Read-only.
+func (s *Store) choosePred(preds []AttrPred, disjunctive bool) int {
 	chosen := 0
+	if len(preds) == 1 {
+		return 0
+	}
 	if !s.NaiveSetChoice {
 		bestEst := s.EstimateSelectivity(preds[0].Attr, preds[0].Pred)
 		for i := 1; i < len(preds); i++ {
@@ -499,28 +506,53 @@ func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) 
 			}
 		}
 	}
-	head := preds[chosen]
+	return chosen
+}
+
+// tailPlan assigns one tail-attribute slot per distinct attribute needed by
+// the plan: other selection attributes first, then projections.
+func tailPlan(others []AttrPred, projs []string) ([]string, map[string]int) {
+	tailAttrs := make([]string, 0, len(others)+len(projs))
+	tailOf := make(map[string]int, len(others)+len(projs))
+	add := func(attr string) {
+		if _, ok := tailOf[attr]; !ok {
+			tailOf[attr] = len(tailAttrs)
+			tailAttrs = append(tailAttrs, attr)
+		}
+	}
+	for _, ap := range others {
+		add(ap.Attr)
+	}
+	for _, attr := range projs {
+		add(attr)
+	}
+	return tailAttrs, tailOf
+}
+
+// splitPreds separates the chosen head predicate from the rest.
+func splitPreds(preds []AttrPred, chosen int) (AttrPred, []AttrPred) {
 	others := make([]AttrPred, 0, len(preds)-1)
 	for i, ap := range preds {
 		if i != chosen {
 			others = append(others, ap)
 		}
 	}
+	return preds[chosen], others
+}
+
+// MultiSelect evaluates a multi-selection query with optional projections
+// (Section 3.3). Conjunctive plans pick the most selective predicate's set
+// and filter the aligned candidate area with a bit vector
+// (select_create_bv / select_refine_bv / reconstruct); disjunctive plans
+// pick the least selective set and a map-sized bit vector.
+func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) Result {
+	if len(preds) == 0 {
+		panic("sideways: MultiSelect requires at least one predicate")
+	}
+	// Map set choice via self-organizing histograms.
+	head, others := splitPreds(preds, s.choosePred(preds, disjunctive))
 	// All tails needed: other selection attributes plus projections.
-	tailAttrs := make([]string, 0, len(others)+len(projs))
-	tailOf := make(map[string]int)
-	for _, ap := range others {
-		if _, ok := tailOf[ap.Attr]; !ok {
-			tailOf[ap.Attr] = len(tailAttrs)
-			tailAttrs = append(tailAttrs, ap.Attr)
-		}
-	}
-	for _, attr := range projs {
-		if _, ok := tailOf[attr]; !ok {
-			tailOf[attr] = len(tailAttrs)
-			tailAttrs = append(tailAttrs, attr)
-		}
-	}
+	tailAttrs, tailOf := tailPlan(others, projs)
 	set := s.Set(head.Attr)
 	if disjunctive {
 		// A disjunctive plan reads the whole map (areas outside w too), so
@@ -533,7 +565,14 @@ func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) 
 	if disjunctive {
 		return s.disjunctive(set, lo, hi, used, tailAttrs, tailOf, others, projs)
 	}
+	return conjunctiveResult(lo, hi, used, tailOf, others, projs)
+}
 
+// conjunctiveResult finishes a conjunctive plan over one aligned area:
+// refine [lo, hi) with a bit vector for the secondary predicates, then
+// reconstruct the projections. A pure read over the aligned maps, shared by
+// the write path and the read-only path.
+func conjunctiveResult(lo, hi int, used []*Map, tailOf map[string]int, others []AttrPred, projs []string) Result {
 	// Conjunctive: bit vector over the candidate area [lo, hi).
 	var bv *bitvec.Vector
 	for _, ap := range others {
@@ -559,6 +598,157 @@ func (s *Store) MultiSelect(preds []AttrPred, projs []string, disjunctive bool) 
 		res.Cols[attr] = ReconstructBV(used[tailOf[attr]].pairs.Tail, lo, bv) // operator reconstruct
 	}
 	return res
+}
+
+// pendingTouches reports whether any pending insertion or deletion of the
+// set falls inside pred's value range. Read-only.
+func (set *Set) pendingTouches(pred store.Pred) bool {
+	if len(set.pendIns) == 0 && len(set.pendDel) == 0 {
+		return false
+	}
+	headCol := set.st.rel.MustColumn(set.attr)
+	for _, k := range set.pendIns {
+		if pred.Matches(headCol.Vals[k]) {
+			return true
+		}
+	}
+	for k := range set.pendDel {
+		if pred.Matches(headCol.Vals[k]) {
+			return true
+		}
+	}
+	return false
+}
+
+// roPlan is a fully resolved read-only query plan: the aligned maps and
+// result area a query can be answered from without any reorganization.
+type roPlan struct {
+	set       *Set
+	lo, hi    int
+	used      []*Map
+	tailAttrs []string
+	tailOf    map[string]int
+	others    []AttrPred
+}
+
+// roEligible reports whether the set can serve pred read-only as far as
+// pending updates and the alignment policy are concerned. Shared by planRO
+// and the MultiSelectRO fast path so the eligibility rules live in one
+// place.
+func (s *Store) roEligible(set *Set, pred store.Pred, disjunctive bool) bool {
+	if disjunctive {
+		// Disjunctions read whole maps, so any pending update is relevant.
+		if len(set.pendIns) > 0 || len(set.pendDel) > 0 {
+			return false
+		}
+	} else if set.pendingTouches(pred) {
+		return false
+	}
+	if s.EagerAlignment {
+		// On-line alignment touches all maps of the set every query; a
+		// lagging map means the write path would replay it.
+		for _, m := range set.maps {
+			if m.cursor != len(set.tape) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// roMap returns the map for tailAttr if it exists and is aligned to the
+// tape end, or nil when the write path would materialize or replay it.
+func (set *Set) roMap(tailAttr string) *Map {
+	m := set.maps[tailAttr]
+	if m == nil || m.cursor != len(set.tape) {
+		return nil
+	}
+	return m
+}
+
+// planRO builds the read-only plan for a query, or reports ok == false when
+// answering it would reorganize the store: crack a map, merge a pending
+// update, materialize a map, or grow the tape.
+func (s *Store) planRO(preds []AttrPred, projs []string, disjunctive bool) (roPlan, bool) {
+	var plan roPlan
+	if len(preds) == 0 {
+		return plan, false
+	}
+	head, others := splitPreds(preds, s.choosePred(preds, disjunctive))
+	set := s.sets[head.Attr]
+	if set == nil || !s.roEligible(set, head.Pred, disjunctive) {
+		return plan, false
+	}
+	tailAttrs, tailOf := tailPlan(others, projs)
+	used := make([]*Map, len(tailAttrs))
+	for i, attr := range tailAttrs {
+		if used[i] = set.roMap(attr); used[i] == nil {
+			return plan, false
+		}
+	}
+	lo, hi := 0, 0
+	if len(used) > 0 {
+		var ok bool
+		lo, hi, ok = used[0].pairs.Area(head.Pred)
+		if !ok {
+			return plan, false
+		}
+	}
+	return roPlan{set: set, lo: lo, hi: hi, used: used,
+		tailAttrs: tailAttrs, tailOf: tailOf, others: others}, true
+}
+
+// ProbeMulti is the read-only probe of the two-phase (probe/execute)
+// protocol: it reports whether MultiSelect(preds, projs, disjunctive) would
+// physically reorganize the store. Safe for concurrent use with other
+// read-only operations.
+func (s *Store) ProbeMulti(preds []AttrPred, projs []string, disjunctive bool) bool {
+	_, ok := s.planRO(preds, projs, disjunctive)
+	return !ok
+}
+
+// MultiSelectRO is the reorganization-free execute path paired with
+// ProbeMulti: it answers the query only when doing so requires no cracking,
+// no pending-update merge, no map creation, and no tape growth. ok is false
+// otherwise; callers then fall back to MultiSelect under exclusive access.
+// Safe for concurrent use with other read-only operations. LFU access
+// counters are bumped atomically; everything else is left untouched.
+func (s *Store) MultiSelectRO(preds []AttrPred, projs []string, disjunctive bool) (Result, bool) {
+	// Dedicated fast path for the dominant aligned-repeat shape: one
+	// predicate, one projection, conjunctive. Same eligibility rules as
+	// planRO (roEligible/roMap/Area) without its plan allocations — no
+	// tail maps, no bit vectors, just index lookups and one slice copy.
+	if len(preds) == 1 && len(projs) == 1 && !disjunctive {
+		head := preds[0]
+		set := s.sets[head.Attr]
+		if set == nil || !s.roEligible(set, head.Pred, false) {
+			return Result{}, false
+		}
+		m := set.roMap(projs[0])
+		if m == nil {
+			return Result{}, false
+		}
+		lo, hi, ok := m.pairs.Area(head.Pred)
+		if !ok {
+			return Result{}, false
+		}
+		atomic.AddInt64(&m.access, 1)
+		out := make([]Value, hi-lo)
+		copy(out, m.pairs.Tail[lo:hi])
+		return Result{Cols: map[string][]Value{projs[0]: out}, N: hi - lo}, true
+	}
+	plan, ok := s.planRO(preds, projs, disjunctive)
+	if !ok {
+		return Result{}, false
+	}
+	for _, m := range plan.used {
+		atomic.AddInt64(&m.access, 1)
+	}
+	if disjunctive {
+		return s.disjunctive(plan.set, plan.lo, plan.hi, plan.used,
+			plan.tailAttrs, plan.tailOf, plan.others, projs), true
+	}
+	return conjunctiveResult(plan.lo, plan.hi, plan.used, plan.tailOf, plan.others, projs), true
 }
 
 // disjunctive finishes a disjunctive plan: mark everything in the head
