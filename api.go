@@ -7,6 +7,7 @@ import (
 	"crackstore/internal/engine"
 	"crackstore/internal/partial"
 	"crackstore/internal/serve"
+	"crackstore/internal/shard"
 	"crackstore/internal/sideways"
 	"crackstore/internal/store"
 )
@@ -204,6 +205,25 @@ func Serialized(e Engine) Engine { return engine.Serialized(e) }
 // compatibility; call Concurrent directly in new code, or Serialized for
 // the fully serialized baseline.
 func Synchronized(e Engine) Engine { return engine.Synchronized(e) }
+
+// ShardOptions tunes a sharded engine: partition attribute and hash
+// fallback.
+type ShardOptions = shard.Options
+
+// Sharded partitions rel across n engines of the given kind, each behind
+// its own Concurrent wrapper. Rows are range-partitioned on
+// ShardOptions.Attr (default: the relation's first attribute) with
+// boundaries at the base data's n-quantiles, falling back to hash
+// partitioning when the attribute cannot form n distinct bands (or when
+// ShardOptions.Hash forces it). Conjunctive queries that constrain the
+// partition attribute skip every shard whose value band cannot intersect
+// the predicate, and a query takes a shard's write lock only if that shard
+// itself must crack — a crack on one shard never blocks read-only hits on
+// the others. The returned engine is already shared-safe: Serve and
+// Concurrent use it as-is.
+func Sharded(kind Kind, rel *Relation, n int, opts ShardOptions) Engine {
+	return shard.New(kind, rel, n, opts)
+}
 
 // ServeOptions tunes a Server: worker-pool size, admission-queue capacity,
 // and admission batching of same-attribute queries.

@@ -129,3 +129,47 @@ func TestSynchronizedPublic(t *testing.T) {
 		t.Fatalf("post-concurrency full query N = %d, want 2000", res.N)
 	}
 }
+
+// TestShardedPublic drives the sharded engine through the public API: a
+// sharded engine served to many clients must agree with a single engine
+// over the same rows, and the serving stats must reflect every query.
+func TestShardedPublic(t *testing.T) {
+	// The reference engine is queried from every client goroutine too, so
+	// it needs its own concurrency wrapper (cracking mutates on read).
+	single := crackstore.Concurrent(crackstore.Open(crackstore.Sideways, demoRelation(2000, 21)))
+	sharded := crackstore.Sharded(crackstore.Sideways, demoRelation(2000, 21), 4,
+		crackstore.ShardOptions{Attr: "A"})
+
+	srv := crackstore.Serve(sharded, crackstore.ServeOptions{Workers: 4})
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 25; i++ {
+				lo := rng.Int63n(900)
+				q := crackstore.Query{
+					Preds: []crackstore.AttrPred{{Attr: "A", Pred: crackstore.Range(lo, lo+60)}},
+					Projs: []string{"B"},
+				}
+				want, _ := single.Query(q)
+				got, _, err := srv.Do(q)
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if got.N != want.N {
+					t.Errorf("sharded N=%d, single N=%d", got.N, want.N)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Queries != 4*25 || st.Errors != 0 {
+		t.Fatalf("stats: %d queries, %d errors; want 100, 0", st.Queries, st.Errors)
+	}
+}

@@ -10,22 +10,32 @@ import (
 	"crackstore/internal/engine"
 	"crackstore/internal/exp"
 	"crackstore/internal/serve"
+	"crackstore/internal/shard"
 	"crackstore/internal/store"
 	"crackstore/internal/workload"
 )
 
 // concurrentConfig drives the -clients mode: a multi-client serving
 // benchmark over a warm sideways workload, comparing the serialized
-// (global-mutex) baseline against the probe/execute Concurrent wrapper.
+// (global-mutex) baseline against the probe/execute Concurrent wrapper —
+// and, with -shards N, against a relation range-partitioned across N
+// independently locked engines.
 type concurrentConfig struct {
 	Clients int
+	Shards  int // > 1 adds the sharded mode and the sharded JSON emission
 	Rows    int
 	Queries int
 	Pool    int     // distinct predicates in the warm workload
 	Sel     float64 // per-query selectivity
+	Churn   float64 // fraction of queries over cold, never-warmed ranges
 	Seed    int64
 	JSONDir string
 	Batch   bool // also run the admission-batching server variant
+
+	// jsonDefaulted is set when JSONDir was not given explicitly: only the
+	// sharded artifact is emitted then, so a bare `-shards N -clients M`
+	// cannot silently overwrite the committed single-engine baseline.
+	jsonDefaulted bool
 }
 
 func (c concurrentConfig) withDefaults() concurrentConfig {
@@ -43,6 +53,12 @@ func (c concurrentConfig) withDefaults() concurrentConfig {
 		// lookups and narrow ranges); 0.02% of the relation per query
 		// mirrors that shape. -sel overrides.
 		c.Sel = 0.0002
+	}
+	if c.Shards > 1 && c.JSONDir == "" {
+		// The sharded series is the artifact this mode exists to produce;
+		// emit it next to the committed baselines unless told otherwise.
+		c.JSONDir = "bench"
+		c.jsonDefaulted = true
 	}
 	return c
 }
@@ -67,13 +83,12 @@ func (c concurrentConfig) queryPool() []engine.Query {
 	return pool
 }
 
-// runMode measures one wrapper configuration: build a fresh engine, warm
-// it by running the whole pool once (every range gets cracked and every
-// map aligned), then fire Clients goroutines at a serving layer and
-// collect throughput and latency.
-func (c concurrentConfig) runMode(name string, wrap func(engine.Engine) engine.Engine, batch bool) serve.Stats {
-	rel := c.buildRelation()
-	e := wrap(engine.New(engine.Sideways, rel))
+// runMode measures one engine configuration: build a fresh relation, wrap
+// it through build, warm the engine by running the whole pool once (every
+// range gets cracked and every map aligned), then fire Clients goroutines
+// at a serving layer and collect throughput, latency, and error counts.
+func (c concurrentConfig) runMode(name string, build func(*store.Relation) engine.Engine, batch bool) serve.Stats {
+	e := build(c.buildRelation())
 	pool := c.queryPool()
 	for _, q := range pool {
 		e.Query(q)
@@ -84,6 +99,16 @@ func (c concurrentConfig) runMode(name string, wrap func(engine.Engine) engine.E
 
 	srv := serve.New(e, serve.Options{Workers: c.Clients, Batch: batch})
 	perClient := c.Queries / c.Clients
+	// Churn-range geometry; clamp so -sel close to (or above) 1 cannot
+	// drive the range generator out of the domain.
+	width := int64(float64(c.Rows)*c.Sel) + 1
+	if width > int64(c.Rows)-1 {
+		width = int64(c.Rows) - 1
+	}
+	span := int64(c.Rows) - width
+	if span < 1 {
+		span = 1
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < c.Clients; g++ {
 		wg.Add(1)
@@ -91,7 +116,19 @@ func (c concurrentConfig) runMode(name string, wrap func(engine.Engine) engine.E
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < perClient; i++ {
-				if _, _, err := srv.Do(pool[rng.Intn(len(pool))]); err != nil {
+				q := pool[rng.Intn(len(pool))]
+				if c.Churn > 0 && rng.Float64() < c.Churn {
+					// A cold range: almost certainly uncracked, so this
+					// query reorganizes and needs exclusive access — one
+					// global write lock for the single engine, one shard's
+					// write lock for the sharded one.
+					lo := 1 + rng.Int63n(span)
+					q = engine.Query{
+						Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(lo, lo+width)}},
+						Projs: []string{"B"},
+					}
+				}
+				if _, _, err := srv.Do(q); err != nil {
 					panic(err)
 				}
 			}
@@ -100,8 +137,8 @@ func (c concurrentConfig) runMode(name string, wrap func(engine.Engine) engine.E
 	wg.Wait()
 	st := srv.Stats()
 	srv.Close()
-	fmt.Printf("%-22s %8d queries  %10.0f q/s  p50=%-8s p95=%-8s p99=%-8s max=%s\n",
-		name, st.Queries, st.QPS, st.P50, st.P95, st.P99, st.Max)
+	fmt.Printf("%-22s %8d queries  %3d errors  %10.0f q/s  p50=%-8s p95=%-8s p99=%-8s max=%s\n",
+		name, st.Queries, st.Errors, st.QPS, st.P50, st.P95, st.P99, st.Max)
 	return st
 }
 
@@ -111,30 +148,58 @@ func runConcurrentBench(c concurrentConfig) {
 	// Micro-second queries make GC pacing the dominant noise source; relax
 	// it during the measurement (applies equally to every mode).
 	defer debug.SetGCPercent(debug.SetGCPercent(400))
-	fmt.Printf("== concurrent serving: %d clients, %d rows, %d queries, %d-predicate warm pool, %.2f%% selectivity ==\n",
-		c.Clients, c.Rows, c.Queries, c.Pool, c.Sel*100)
+	fmt.Printf("== concurrent serving: %d clients, %d rows, %d queries, %d-predicate warm pool, %.2f%% selectivity, %.0f%% cold churn ==\n",
+		c.Clients, c.Rows, c.Queries, c.Pool, c.Sel*100, c.Churn*100)
 
-	serialized := c.runMode("serialized", engine.Serialized, false)
-	concurrent := c.runMode("concurrent", engine.Concurrent, false)
+	single := func(wrap func(engine.Engine) engine.Engine) func(*store.Relation) engine.Engine {
+		return func(rel *store.Relation) engine.Engine {
+			return wrap(engine.New(engine.Sideways, rel))
+		}
+	}
+	serialized := c.runMode("serialized", single(engine.Serialized), false)
+	concurrent := c.runMode("concurrent", single(engine.Concurrent), false)
 	series := []exp.Series{
-		{Name: "serialized", Y: serialized.Latencies},
-		{Name: "concurrent", Y: concurrent.Latencies},
+		{Name: "serialized", Y: serialized.Latencies, Errors: serialized.Errors},
+		{Name: "concurrent", Y: concurrent.Latencies, Errors: concurrent.Errors},
 	}
 	if c.Batch {
-		batched := c.runMode("concurrent+batching", engine.Concurrent, true)
-		series = append(series, exp.Series{Name: "concurrent+batching", Y: batched.Latencies})
+		batched := c.runMode("concurrent+batching", single(engine.Concurrent), true)
+		series = append(series, exp.Series{Name: "concurrent+batching", Y: batched.Latencies, Errors: batched.Errors})
 	}
 
 	if serialized.QPS > 0 {
 		fmt.Printf("speedup: %.2fx aggregate QPS over the serialized baseline\n",
 			concurrent.QPS/serialized.QPS)
 	}
-	if c.JSONDir != "" {
+	if c.JSONDir != "" && !c.jsonDefaulted {
 		title := fmt.Sprintf("Concurrent serving, %d clients (%d rows, warm sideways workload): serialized %.0f q/s vs concurrent %.0f q/s",
 			c.Clients, c.Rows, serialized.QPS, concurrent.QPS)
 		if err := exp.WriteSeriesJSON(c.JSONDir, "concurrent_serving",
 			title, "query (completion order)", series); err != nil {
 			fmt.Printf("json export failed: %v\n", err)
+		}
+	}
+
+	if c.Shards > 1 {
+		name := fmt.Sprintf("sharded x%d", c.Shards)
+		sharded := c.runMode(name, func(rel *store.Relation) engine.Engine {
+			return shard.New(engine.Sideways, rel, c.Shards, shard.Options{Attr: "A"})
+		}, false)
+		if concurrent.QPS > 0 {
+			fmt.Printf("sharded speedup: %.2fx aggregate QPS over the single-engine concurrent wrapper\n",
+				sharded.QPS/concurrent.QPS)
+		}
+		if c.JSONDir != "" {
+			title := fmt.Sprintf("Sharded serving, %d clients x %d shards (%d rows, warm sideways workload): concurrent %.0f q/s vs sharded %.0f q/s",
+				c.Clients, c.Shards, c.Rows, concurrent.QPS, sharded.QPS)
+			shardSeries := []exp.Series{
+				{Name: "concurrent", Y: concurrent.Latencies, Errors: concurrent.Errors},
+				{Name: name, Y: sharded.Latencies, Errors: sharded.Errors},
+			}
+			if err := exp.WriteSeriesJSON(c.JSONDir, "sharded_serving",
+				title, "query (completion order)", shardSeries); err != nil {
+				fmt.Printf("json export failed: %v\n", err)
+			}
 		}
 	}
 }

@@ -10,6 +10,7 @@
 //	crackbench -exp exp2 -scale paper
 //	crackbench -exp exp1 -json bench_out               # BENCH_*.json series
 //	crackbench -clients 8 -json bench_out              # concurrent serving
+//	crackbench -shards 4 -clients 8                    # sharded serving
 //
 // Experiment ids: exp1 exp2 exp3 exp4 exp5 exp6 fig9 fig10 fig11 fig12
 // fig13 ablation all. Sizes default to a laptop-friendly scale; -scale paper uses
@@ -19,8 +20,10 @@
 // benchmark: N client goroutines fire a warm sideways workload through the
 // serving layer, once against the serialized (global-mutex) baseline and
 // once against the probe/execute Concurrent wrapper, reporting aggregate
-// QPS and tail latencies (-serve-batch adds the admission-batching
-// variant).
+// QPS, tail latencies, and error counts (-serve-batch adds the
+// admission-batching variant). Adding -shards S also measures the relation
+// range-partitioned across S independently locked engines and emits
+// BENCH_sharded_serving.json next to the single-engine series.
 package main
 
 import (
@@ -44,19 +47,27 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write full series as CSV files into this directory")
 		jsonDir = flag.String("json", "", "also write per-query cumulative latency series as BENCH_*.json files into this directory")
 		clients = flag.Int("clients", 0, "run the concurrent serving benchmark with this many client goroutines instead of the paper experiments")
+		shards  = flag.Int("shards", 0, "concurrent mode: also measure the relation range-partitioned across this many independently locked engines (emits BENCH_sharded_serving.json; -json defaults to bench/)")
 		srvPool = flag.Int("pool", 0, "concurrent mode: distinct predicates in the warm workload (0 = default)")
 		srvSel  = flag.Float64("sel", 0, "concurrent mode: per-query selectivity (0 = default 0.0002)")
+		srvChrn = flag.Float64("churn", 0, "concurrent mode: fraction of queries over cold never-warmed ranges (each one cracks; 0 = fully warm workload)")
 		srvBat  = flag.Bool("serve-batch", false, "concurrent mode: also run the admission-batching server variant")
 	)
 	flag.Parse()
 
+	if *shards > 0 && *clients <= 0 {
+		fmt.Fprintln(os.Stderr, "-shards only applies to the serving benchmark; add -clients N")
+		os.Exit(2)
+	}
 	if *clients > 0 {
 		runConcurrentBench(concurrentConfig{
 			Clients: *clients,
+			Shards:  *shards,
 			Rows:    *rows,
 			Queries: *queries,
 			Pool:    *srvPool,
 			Sel:     *srvSel,
+			Churn:   *srvChrn,
 			Seed:    *seed,
 			JSONDir: *jsonDir,
 			Batch:   *srvBat,

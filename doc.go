@@ -63,6 +63,33 @@
 // available as Serialized for benchmarking (crackbench -clients N
 // measures both).
 //
+// Serving statistics (ServeStats) use conservative nearest-rank
+// percentiles — the fractional rank is rounded upward, never truncated to
+// a rank below the percentile — measure elapsed time from the earliest
+// submission, and count failed queries in Errors rather than silently
+// shrinking the run.
+//
+// # Sharding
+//
+// One Concurrent engine still funnels every crack through a single write
+// lock. Sharded splits the relation across n inner engines, each behind
+// its own Concurrent wrapper:
+//
+//	e := crackstore.Sharded(crackstore.Sideways, rel, 4, crackstore.ShardOptions{Attr: "A"})
+//	srv := crackstore.Serve(e, crackstore.ServeOptions{Workers: 16})
+//
+// Rows are range-partitioned on the chosen attribute (boundaries at the
+// base data's n-quantiles), so conjunctive queries constraining that
+// attribute are pruned to the shards whose value bands can intersect the
+// predicate — a crack on one shard never blocks read-only hits on the
+// others, and pruned shards are not touched at all. When the attribute
+// cannot form n distinct bands (few distinct values, empty relation) or
+// ShardOptions.Hash is set, partitioning falls back to hashing, which
+// still spreads load and prunes point predicates but cannot prune ranges.
+// Inserts and deletes route to the owning shard; global tuple keys are
+// preserved. The sharded engine is already shared-safe — Serve and
+// Concurrent use it as-is (crackbench -shards S -clients N measures it).
+//
 // The cmd/crackbench and cmd/tpchbench tools regenerate every table and
 // figure of the paper's evaluation; see DESIGN.md for the experiment index
 // and EXPERIMENTS.md for measured results.

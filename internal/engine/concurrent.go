@@ -19,23 +19,33 @@ import (
 // Query. Aligned repeat queries therefore run genuinely in parallel, and
 // one crack pays for every reader that was waiting behind it.
 //
-// Wrapping is idempotent: Concurrent on an already-Concurrent engine
-// returns it unchanged.
+// Wrapping is idempotent: Concurrent on an engine that is already safe to
+// share (a Concurrent or Serialized wrapper, or an engine carrying the
+// SharedEngine marker, such as the sharded engine) returns it unchanged —
+// adding a global lock over an engine that manages its own finer-grained
+// locking would serialize it.
 func Concurrent(e Engine) Engine {
-	if _, ok := e.(*rwEngine); ok {
+	if IsShared(e) {
 		return e
 	}
 	return &rwEngine{e: e}
 }
 
-// IsShared reports whether e is already safe to share across goroutines
-// (a Concurrent or Serialized wrapper).
+// sharedMarker tags engines defined outside this package that are already
+// safe to share across goroutines because they do their own locking (e.g.
+// internal/shard, which wraps every shard in Concurrent individually).
+type sharedMarker interface{ SharedEngine() }
+
+// IsShared reports whether e is already safe to share across goroutines:
+// a Concurrent or Serialized wrapper, or any engine implementing the
+// SharedEngine marker method.
 func IsShared(e Engine) bool {
 	switch e.(type) {
 	case *rwEngine, *syncEngine:
 		return true
 	}
-	return false
+	_, ok := e.(sharedMarker)
+	return ok
 }
 
 type rwEngine struct {

@@ -99,6 +99,10 @@ func SamplePoints(n int) []int {
 type Series struct {
 	Name string
 	Y    []time.Duration
+	// Errors counts failed queries behind this series (serving runs). They
+	// have no latency sample in Y; a nonzero count is surfaced in the JSON
+	// emission so a run with failures cannot pass as healthy.
+	Errors int
 }
 
 // printSeries prints sampled points of several aligned series and, when

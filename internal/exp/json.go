@@ -19,6 +19,7 @@ type benchSeriesJSON struct {
 
 type benchLineJSON struct {
 	Name         string  `json:"name"`
+	Errors       int     `json:"errors,omitempty"`
 	PerQueryUs   []int64 `json:"per_query_us"`
 	CumulativeUs []int64 `json:"cumulative_us"`
 }
@@ -44,6 +45,7 @@ func (c Config) jsonSeries(name string, title, xlabel string, series []Series) e
 	for _, s := range series {
 		line := benchLineJSON{
 			Name:         s.Name,
+			Errors:       s.Errors,
 			PerQueryUs:   make([]int64, len(s.Y)),
 			CumulativeUs: make([]int64, len(s.Y)),
 		}

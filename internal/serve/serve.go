@@ -22,6 +22,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -90,13 +91,13 @@ type Server struct {
 	work  chan []*request // batching mode: dispatcher -> worker pool
 	wg    sync.WaitGroup  // batching mode: workers + dispatcher
 
-	inDo      sync.WaitGroup // Do calls in flight (both modes)
-	closed    atomic.Bool
-	firstOnce sync.Once
+	inDo   sync.WaitGroup // Do calls in flight (both modes)
+	closed atomic.Bool
 
 	mu    sync.Mutex
 	lats  []time.Duration
-	first time.Time // first submission
+	errs  int       // executed queries that failed (panic or engine error)
+	first time.Time // earliest submission
 	last  time.Time // last completion
 }
 
@@ -143,18 +144,13 @@ func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
 	if s.closed.Load() {
 		return engine.Result{}, engine.Cost{}, ErrClosed
 	}
-	s.firstOnce.Do(func() {
-		s.mu.Lock()
-		s.first = t0
-		s.mu.Unlock()
-	})
-
 	if !s.opts.Batch {
 		// Direct mode: execute on this goroutine under the semaphore.
 		s.sem <- struct{}{}
 		res, cost, err := safeQuery(s.e, q)
 		<-s.sem
 		if err != nil {
+			s.recordError(t0, time.Now())
 			return res, cost, err
 		}
 		s.record(time.Since(t0), t0)
@@ -180,13 +176,46 @@ func safeQuery(e engine.Engine, q engine.Query) (res engine.Result, cost engine.
 	return res, cost, nil
 }
 
+// recordError counts an executed query that failed. Failed queries capture
+// no latency sample, so without this counter a run with failures would
+// silently report healthy percentiles and QPS over fewer queries. Both of
+// the query's endpoints still feed the run's wall clock (earliest
+// submission, latest completion): a failed query occupied the server just
+// the same.
+func (s *Server) recordError(t0, end time.Time) {
+	s.mu.Lock()
+	s.errs++
+	s.noteStartLocked(t0)
+	if end.After(s.last) {
+		s.last = end
+	}
+	s.mu.Unlock()
+}
+
+// record captures a completed query: its latency, the completion-time
+// high-water mark, and the earliest-submission marker. Tracking the
+// minimum t0 (rather than stamping whichever racing Do got there first,
+// as a sync.Once would) keeps Elapsed correct under concurrent start-up:
+// the once-winner can carry a later t0 than another already-in-flight
+// query, shrinking Elapsed and inflating QPS. Folding the minimum into
+// the completion-side update keeps Do at one stats critical section per
+// query.
 func (s *Server) record(lat time.Duration, t0 time.Time) {
 	s.mu.Lock()
 	s.lats = append(s.lats, lat)
+	s.noteStartLocked(t0)
 	if t := t0.Add(lat); t.After(s.last) {
 		s.last = t
 	}
 	s.mu.Unlock()
+}
+
+// noteStartLocked folds t0 into the earliest-submission marker; the caller
+// holds s.mu.
+func (s *Server) noteStartLocked(t0 time.Time) {
+	if s.first.IsZero() || t0.Before(s.first) {
+		s.first = t0
+	}
 }
 
 // dispatch moves requests from the admission queue to the worker pool,
@@ -252,6 +281,8 @@ func (s *Server) worker() {
 			req.res, req.cost, req.err = safeQuery(s.e, req.q)
 			if req.err == nil {
 				s.record(time.Since(req.t0), req.t0)
+			} else {
+				s.recordError(req.t0, time.Now())
 			}
 			close(req.done)
 		}
@@ -273,11 +304,20 @@ func (s *Server) Close() {
 
 // Stats summarizes the serving run so far.
 type Stats struct {
-	Queries int           // completed queries
-	Elapsed time.Duration // first submission to last completion
+	Queries int // completed queries (successful; errored queries are not counted here)
+	// Errors counts executed queries that failed — an engine panic
+	// converted by safeQuery, typically a malformed query. Failed queries
+	// contribute no latency sample, so QPS and the percentiles describe
+	// the Queries successes only; a nonzero Errors flags that the run was
+	// not healthy.
+	Errors  int
+	Elapsed time.Duration // earliest submission to last completion
 	QPS     float64       // Queries / Elapsed
 
-	P50, P95, P99, Max time.Duration // latency percentiles (wait + execute)
+	// Latency percentiles (wait + execute), conservative nearest-rank:
+	// Pxx is sorted[ceil(p*(n-1))], i.e. the fractional rank rounded
+	// upward, so a reported tail percentile is never below the true one.
+	P50, P95, P99, Max time.Duration
 
 	// Latencies holds every captured per-query latency in completion
 	// order (a copy; safe to keep).
@@ -288,10 +328,11 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	lats := append([]time.Duration(nil), s.lats...)
+	errs := s.errs
 	first, last := s.first, s.last
 	s.mu.Unlock()
 
-	st := Stats{Queries: len(lats), Latencies: lats}
+	st := Stats{Queries: len(lats), Errors: errs, Latencies: lats}
 	if len(lats) == 0 {
 		return st
 	}
@@ -302,7 +343,11 @@ func (s *Server) Stats() Stats {
 	sorted := append([]time.Duration(nil), lats...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(sorted)-1))
+		// Nearest-rank needs the ceiling: int() truncation toward zero
+		// picks a rank below the percentile whenever the product is
+		// non-integral (e.g. P99 of 200 samples read index 197 instead of
+		// 198), systematically underreporting tail latency.
+		i := int(math.Ceil(p * float64(len(sorted)-1)))
 		return sorted[i]
 	}
 	st.P50, st.P95, st.P99 = pct(0.50), pct(0.95), pct(0.99)

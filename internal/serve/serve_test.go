@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"crackstore/internal/engine"
 	"crackstore/internal/store"
@@ -98,6 +99,115 @@ func TestServeSurvivesPanickingQuery(t *testing.T) {
 		}
 		if _, _, err := srv.Do(good); err != nil {
 			t.Fatalf("batch=%v: server unusable after panics: %v", batch, err)
+		}
+		srv.Close()
+	}
+}
+
+// TestStatsPercentileNearestRank pins the percentile math against known
+// sample sets: nearest-rank with a ceiling, never the truncated index that
+// underreported tail latency (P99 of 200 samples must read sorted index
+// 198 = ceil(0.99*199), not int(0.99*199) = 197).
+func TestStatsPercentileNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	seq := func(n int) []time.Duration { // 1ms..n ms, so sorted[i] = (i+1)ms
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = ms(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name               string
+		lats               []time.Duration
+		p50, p95, p99, max time.Duration
+	}{
+		{"one sample", seq(1), ms(1), ms(1), ms(1), ms(1)},
+		{"two samples", seq(2), ms(2), ms(2), ms(2), ms(2)},
+		// n=10: ceil(.5*9)=5, ceil(.95*9)=9, ceil(.99*9)=9
+		{"ten samples", seq(10), ms(6), ms(10), ms(10), ms(10)},
+		// n=100: ceil(.5*99)=50, ceil(.95*99)=95, ceil(.99*99)=99
+		{"hundred samples", seq(100), ms(51), ms(96), ms(100), ms(100)},
+		// n=200: ceil(.5*199)=100, ceil(.95*199)=190, ceil(.99*199)=198 —
+		// the truncating implementation read 99, 189, and 197.
+		{"two hundred samples", seq(200), ms(101), ms(191), ms(199), ms(200)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Server{lats: tc.lats}
+			st := s.Stats()
+			if st.P50 != tc.p50 || st.P95 != tc.p95 || st.P99 != tc.p99 || st.Max != tc.max {
+				t.Fatalf("got p50=%v p95=%v p99=%v max=%v, want p50=%v p95=%v p99=%v max=%v",
+					st.P50, st.P95, st.P99, st.Max, tc.p50, tc.p95, tc.p99, tc.max)
+			}
+		})
+	}
+}
+
+// TestStatsFirstSubmissionMinimum feeds staggered synthetic t0s through the
+// recording paths out of order and concurrently: Elapsed must span from the
+// *earliest* submission, not whichever racing Do stamped first.
+func TestStatsFirstSubmissionMinimum(t *testing.T) {
+	base := time.Now()
+	ms := time.Millisecond
+	s := &Server{}
+	// Out of order: the 5s-offset submission completes after the 10s one,
+	// and the earliest submission of all belongs to an errored query.
+	s.record(ms, base.Add(10*time.Second))
+	s.record(ms, base.Add(5*time.Second))
+	s.recordError(base.Add(2*time.Second), base.Add(3*time.Second))
+	s.record(time.Second, base.Add(29*time.Second)) // completes at base+30s
+	if st := s.Stats(); st.Elapsed != 28*time.Second {
+		t.Fatalf("Elapsed = %v, want 28s (earliest t0 must win, not the first writer)", st.Elapsed)
+	}
+	// An error tail after the last success extends the wall clock too.
+	s.recordError(base.Add(31*time.Second), base.Add(34*time.Second))
+	if st := s.Stats(); st.Elapsed != 32*time.Second {
+		t.Fatalf("Elapsed = %v, want 32s (errored completions are part of the run)", st.Elapsed)
+	}
+
+	// Concurrent start-up (run under -race in CI): every permutation of the
+	// races must still yield the minimum.
+	s = &Server{}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s.record(ms, base.Add(time.Duration(g)*time.Second))
+		}(g)
+	}
+	wg.Wait()
+	s.record(time.Second, base.Add(39*time.Second))
+	if st := s.Stats(); st.Elapsed != 40*time.Second {
+		t.Fatalf("concurrent Elapsed = %v, want 40s", st.Elapsed)
+	}
+}
+
+// TestStatsCountsErrors: errored queries must surface in Stats.Errors
+// instead of silently shrinking the run.
+func TestStatsCountsErrors(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		rel := buildRel(rand.New(rand.NewSource(9)), 500, 100)
+		srv := New(engine.New(engine.Sideways, rel), Options{Workers: 2, Batch: batch})
+		bad := engine.Query{Preds: []engine.AttrPred{{Attr: "nope", Pred: store.Range(0, 10)}}}
+		good := engine.Query{Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(0, 10)}}, Projs: []string{"B"}}
+		for i := 0; i < 5; i++ {
+			if _, _, err := srv.Do(bad); err == nil {
+				t.Fatalf("batch=%v: bad query returned no error", batch)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, err := srv.Do(good); err != nil {
+				t.Fatalf("batch=%v: good query failed: %v", batch, err)
+			}
+		}
+		st := srv.Stats()
+		if st.Errors != 5 {
+			t.Fatalf("batch=%v: Stats.Errors = %d, want 5", batch, st.Errors)
+		}
+		if st.Queries != 3 {
+			t.Fatalf("batch=%v: Stats.Queries = %d, want 3", batch, st.Queries)
 		}
 		srv.Close()
 	}
