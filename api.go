@@ -3,6 +3,7 @@ package crackstore
 import (
 	"fmt"
 
+	"crackstore/internal/crack"
 	"crackstore/internal/dict"
 	"crackstore/internal/engine"
 	"crackstore/internal/partial"
@@ -79,6 +80,46 @@ func Build(name string, n int, attrs []string, gen func(attr string, row int) Va
 
 // Open wraps rel (not copied) in an engine of the given kind.
 func Open(kind Kind, rel *Relation) Engine { return engine.New(kind, rel) }
+
+// CrackPolicy configures adaptive pivot selection for cracking engines.
+// The zero value cracks only at query bounds (the paper's algorithm);
+// the Stochastic and Capped kinds additionally pre-split any targeted
+// piece larger than a cap, so convergence no longer depends on the query
+// pattern — sequential sweeps and zoom-ins degrade plain cracking toward
+// quadratic total work, which the auxiliary pivots prevent.
+type CrackPolicy = crack.Policy
+
+// CrackPolicyKind identifies one adaptive pivot policy.
+type CrackPolicyKind = crack.PolicyKind
+
+// Adaptive cracking policy kinds.
+const (
+	// DefaultCracking cracks exactly at query predicate bounds.
+	DefaultCracking = crack.Default
+	// StochasticCracking pre-splits oversized pieces at median-of-sample
+	// pivots drawn with a seeded hash (the DDC/DDR remedy of Halim et al.,
+	// VLDB 2012).
+	StochasticCracking = crack.Stochastic
+	// CappedCracking pre-splits oversized pieces at the midpoint of their
+	// value range, recursively (the deterministic sibling).
+	CappedCracking = crack.Capped
+)
+
+// CrackPolicyByName maps "default", "stochastic" or "capped" to its kind.
+func CrackPolicyByName(name string) (CrackPolicyKind, bool) { return crack.KindByName(name) }
+
+// OpenWithPolicy is Open with an adaptive cracking policy applied (a no-op
+// for engine kinds that do not crack). Configure policies before the first
+// query: structures that replay shared tapes freeze the policy at creation.
+func OpenWithPolicy(kind Kind, rel *Relation, pol CrackPolicy) Engine {
+	return engine.NewWithPolicy(kind, rel, pol)
+}
+
+// SetCrackPolicy applies an adaptive cracking policy to an engine
+// (including Concurrent/Serialized wrappers and sharded engines),
+// reporting whether the engine's physical design cracks. Call before the
+// first query.
+func SetCrackPolicy(e Engine, pol CrackPolicy) bool { return engine.SetPolicy(e, pol) }
 
 // OpenSidewaysBudget opens a full-map sideways engine with a storage
 // threshold in tuples (maps are dropped least-frequently-used first).

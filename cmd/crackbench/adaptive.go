@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"crackstore/internal/crack"
+	"crackstore/internal/exp"
+	"crackstore/internal/workload"
+)
+
+// runAdaptiveBench is the -policy / -pattern entry point: the adaptive
+// cracking policy comparison across access patterns. It emits
+// bench/BENCH_adaptive_workloads.json (override with -json) with
+// policy/pattern metadata on every series.
+func runAdaptiveBench(rows, queries int, seed int64, jsonDir, policy, pattern string) {
+	cfg := exp.Default()
+	cfg.Rows, cfg.Queries = 100_000, 1000
+	cfg.Seed = seed
+	cfg.W = os.Stdout
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if jsonDir == "" {
+		// The comparison artifact is what this mode exists to produce.
+		jsonDir = "bench"
+	}
+	cfg.JSONDir = jsonDir
+
+	var policies, patterns []string
+	if policy != "" && policy != "all" {
+		if _, ok := crack.KindByName(policy); !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q (default|stochastic|capped|all)\n", policy)
+			os.Exit(2)
+		}
+		policies = []string{policy}
+	}
+	if pattern != "" && pattern != "all" {
+		if _, ok := workload.Pattern(pattern, 0.01); !ok {
+			fmt.Fprintf(os.Stderr, "unknown pattern %q (random|sequential|zoomin|periodic|all)\n", pattern)
+			os.Exit(2)
+		}
+		patterns = []string{pattern}
+	}
+	fmt.Printf("== adaptive cracking policies: %d rows, %d queries per (pattern, policy) pair ==\n",
+		cfg.Rows, cfg.Queries)
+	exp.AdaptiveWorkloads(cfg, patterns, policies)
+}

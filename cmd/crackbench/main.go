@@ -11,10 +11,18 @@
 //	crackbench -exp exp1 -json bench_out               # BENCH_*.json series
 //	crackbench -clients 8 -json bench_out              # concurrent serving
 //	crackbench -shards 4 -clients 8                    # sharded serving
+//	crackbench -policy all -pattern all                # adaptive policies
 //
 // Experiment ids: exp1 exp2 exp3 exp4 exp5 exp6 fig9 fig10 fig11 fig12
 // fig13 ablation all. Sizes default to a laptop-friendly scale; -scale paper uses
 // the paper's sizes (expect minutes per experiment).
+//
+// With -policy and/or -pattern the command runs the adaptive-cracking
+// comparison instead: for every (access pattern, cracking policy) pair it
+// replays a range-query stream against a fresh cracking engine and emits
+// bench/BENCH_adaptive_workloads.json. Sequential sweeps and zoom-ins
+// degrade plain cracking toward quadratic total work; the stochastic and
+// capped policies pre-split oversized pieces and stay near-linear.
 //
 // With -clients N the command instead runs the concurrent serving
 // benchmark: N client goroutines fire a warm sideways workload through the
@@ -52,8 +60,15 @@ func main() {
 		srvSel  = flag.Float64("sel", 0, "concurrent mode: per-query selectivity (0 = default 0.0002)")
 		srvChrn = flag.Float64("churn", 0, "concurrent mode: fraction of queries over cold never-warmed ranges (each one cracks; 0 = fully warm workload)")
 		srvBat  = flag.Bool("serve-batch", false, "concurrent mode: also run the admission-batching server variant")
+		policy  = flag.String("policy", "", "adaptive mode: cracking policy to measure (default|stochastic|capped|all); runs the policy-vs-pattern comparison and emits BENCH_adaptive_workloads.json (-json defaults to bench/)")
+		pattern = flag.String("pattern", "", "adaptive mode: access pattern to measure (random|sequential|zoomin|periodic|all)")
 	)
 	flag.Parse()
+
+	if *policy != "" || *pattern != "" {
+		runAdaptiveBench(*rows, *queries, *seed, *jsonDir, *policy, *pattern)
+		return
+	}
 
 	if *shards > 0 && *clients <= 0 {
 		fmt.Fprintln(os.Stderr, "-shards only applies to the serving benchmark; add -clients N")

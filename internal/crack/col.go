@@ -32,6 +32,14 @@ func NewCol(col *store.Column) *Col {
 	return &Col{P: WrapPairs(head, tail), pendDel: make(map[Value]bool)}
 }
 
+// NewColWithPolicy is NewCol with an adaptive cracking policy for the
+// column's pairs (see Policy).
+func NewColWithPolicy(col *store.Column, pol Policy) *Col {
+	c := NewCol(col)
+	c.P.Policy = pol
+	return c
+}
+
 // Len returns the number of tuples currently materialized in the column
 // (excluding pending insertions).
 func (c *Col) Len() int { return c.P.Len() }

@@ -52,6 +52,52 @@ func BenchmarkCrackInThree(b *testing.B) {
 	}
 }
 
+// benchCrackInTwoKernel measures the crack-in-two inner loop alone on a
+// cold random column (the worst case for branch prediction: every tuple's
+// side is a coin flip).
+func benchCrackInTwoKernel(b *testing.B, branchy bool) {
+	head, tail := benchColumn()
+	pred := store.Range(1000, 1<<17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := WrapPairs(append([]Value(nil), head...), append([]Value(nil), tail...))
+		p.Branchy = branchy
+		b.StartTimer()
+		p.CrackBound(pred.LowerBound())
+		p.CrackBound(pred.UpperBound())
+	}
+}
+
+// BenchmarkCrackInTwoPredicated is the branch-free predicated default.
+func BenchmarkCrackInTwoPredicated(b *testing.B) { benchCrackInTwoKernel(b, false) }
+
+// BenchmarkCrackInTwoBranchyRef is the branchy two-pointer reference.
+func BenchmarkCrackInTwoBranchyRef(b *testing.B) { benchCrackInTwoKernel(b, true) }
+
+// benchCrackInThreeKernel measures the fused crack-in-three on the same
+// cold random column.
+func benchCrackInThreeKernel(b *testing.B, branchy bool) {
+	head, tail := benchColumn()
+	pred := store.Range(1000, 1<<17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := WrapPairs(append([]Value(nil), head...), append([]Value(nil), tail...))
+		p.Branchy = branchy
+		b.StartTimer()
+		p.CrackRange(pred)
+	}
+}
+
+// BenchmarkCrackInThreePredicated is the branch-free predicated default.
+func BenchmarkCrackInThreePredicated(b *testing.B) { benchCrackInThreeKernel(b, false) }
+
+// BenchmarkCrackInThreeBranchyRef is the branchy reference.
+func BenchmarkCrackInThreeBranchyRef(b *testing.B) { benchCrackInThreeKernel(b, true) }
+
 // benchCrackedPairs returns a 2^16-tuple column cracked into ~512 pieces,
 // plus a batch of pending inserts spread over the domain.
 func benchCrackedPairs(batch int) (*Pairs, []Value, []Value) {

@@ -18,24 +18,41 @@
 // same set that replay the same sequence of cracks end up with identical
 // head orderings (Section 3.2).
 //
-// CrackRange partitions against both bounds of a range predicate in a
-// single pass (crack-in-three, a Dutch-national-flag partition) whenever
-// both bounds fall into the same uncracked piece — the common cold-start
-// case — and falls back to two crack-in-two passes otherwise. Which path is
-// taken depends only on the cracker-index state, which itself is a function
-// of the replayed operation sequence, so the choice is deterministic across
-// aligned maps and the alignment invariant is preserved.
+// CrackRange partitions against both bounds of a range predicate with one
+// crack-in-three (a single classification pass that fixes both split
+// positions, followed by a movement-optimal cycle repair that stores every
+// misplaced tuple exactly once) whenever both bounds fall into the same
+// uncracked piece — the common cold-start case — and falls back to two
+// crack-in-two passes otherwise. Which path is taken depends only on the
+// cracker-index state, which itself is a function of the replayed
+// operation sequence, so the choice is deterministic across aligned maps
+// and the alignment invariant is preserved.
 //
 // Updates use the Ripple algorithm. RippleInsert merges one pending tuple;
 // RippleInsertBatch merges many in a single pass (one index walk, one bulk
 // boundary shift) and is defined to produce exactly the layout that
 // arrival-order sequential RippleInsert calls would, so replay tapes can be
 // applied with either without breaking alignment.
+//
+// Two orthogonal knobs tune the kernel beyond the paper's algorithm:
+//
+//   - Pairs.Policy selects an adaptive pivot policy (see Policy): the
+//     Stochastic and Capped policies pre-split pathologically large pieces
+//     at auxiliary pivots before the query's own crack, so convergence no
+//     longer depends on the query pattern. Auxiliary pivots are ordinary
+//     index boundaries; probes and SelectRO benefit from them immediately.
+//   - The partition inner loops run branch-free by default: per-tuple
+//     left/right decisions are computed as 0/1 cursor advances and masked
+//     swaps instead of unpredictable branches, so throughput does not
+//     collapse on random data (~50% mispredicts in the branchy loop).
+//     Pairs.Branchy selects the branchy reference implementation, which is
+//     fuzz-pinned layout-identical to the predicated kernels.
 package crack
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"crackstore/internal/crackindex"
 	"crackstore/internal/store"
@@ -45,11 +62,15 @@ import (
 type Value = store.Value
 
 // KernelStats counts partition work. Tests use it to verify that a cold
-// range crack is a single pass; benchmarks use it for work accounting.
+// range crack classifies each tuple once and that crack-in-three moves no
+// more tuples than two crack-in-twos; benchmarks use it for work
+// accounting.
 type KernelStats struct {
 	InTwo   int // crack-in-two partition passes
-	InThree int // single-pass crack-in-three partitions
-	Visited int // tuples examined across all partition passes
+	InThree int // crack-in-three partitions (both bounds in one pass)
+	Visited int // tuples classified, one per tuple per partition pass
+	Moved   int // tuples stored to a new position (swaps count 2, rotations 3)
+	Aux     int // auxiliary policy pivots introduced (see Policy)
 }
 
 // Pairs is a two-column table with a cracker index over the head column.
@@ -57,6 +78,18 @@ type Pairs struct {
 	Head []Value
 	Tail []Value
 	Idx  *crackindex.Index
+
+	// Policy selects the adaptive pivot policy; the zero value is Default
+	// (crack only at query bounds). Change it only between queries: policy
+	// decisions are part of the deterministic layout, so structures that
+	// must stay aligned have to crack under one policy.
+	Policy Policy
+
+	// Branchy selects the branchy reference partition loops instead of the
+	// branch-free predicated defaults. Both produce identical layouts;
+	// the switch exists for the equivalence fuzz targets and the kernel
+	// microbenchmarks.
+	Branchy bool
 
 	// Stats accumulates kernel partition counters. Resetting it is cheap
 	// and does not affect behavior.
@@ -115,34 +148,149 @@ func cut(b crackindex.Bound) (c Value, ok bool) {
 	return b.V + 1, true
 }
 
+// b2v returns 1 for true and 0 for false. The Go compiler lowers this
+// pattern to a flag-set instruction, keeping the predicated kernels free of
+// data-dependent branches.
+func b2v(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // crackInTwo partitions positions [lo, hi) so that all values on the left
 // of boundary b precede all values at-or-right of it, returning the split
-// position. The algorithm is the two-pointer partition of [7]; it is a
-// deterministic function of the piece contents.
+// position. It dispatches to the branch-free predicated kernel (default)
+// or the branchy two-pointer reference (Pairs.Branchy); both execute the
+// same cursor state machine and produce identical layouts, which the
+// equivalence fuzz targets pin. The result is a deterministic function of
+// the piece contents either way.
 func (p *Pairs) crackInTwo(b crackindex.Bound, lo, hi int) int {
 	p.Stats.InTwo++
 	p.Stats.Visited += hi - lo
-	i, j := lo, hi-1
-	for i <= j {
-		for i <= j && onLeft(p.Head[i], b) {
-			i++
-		}
-		for i <= j && !onLeft(p.Head[j], b) {
-			j--
-		}
-		if i < j {
-			p.swap(i, j)
-			i++
-			j--
+	c, ok := cut(b)
+	if !ok {
+		// Non-representable boundary {MaxInt64, exclusive}: every value is
+		// on its left; nothing moves and the split is at hi.
+		return hi
+	}
+	if p.Branchy {
+		return p.crackInTwoBranchy(c, lo, hi)
+	}
+	return p.crackInTwoPred(c, lo, hi)
+}
+
+// crackInTwoBranchy is the branchy reference of the count-then-repair
+// crack-in-two: a counting pass fixes the split position, then cursor i
+// scans the left region for misplaced (>= c) tuples while cursor j scans
+// the right region for misplaced (< c) ones, swapping the k-th stall of
+// each — every swap puts two tuples in their final region, the minimum
+// movement any swap-based partition can achieve. The stall positions and
+// their pairing are what crackInTwoPred replicates exactly.
+func (p *Pairs) crackInTwoBranchy(c Value, lo, hi int) int {
+	h, t := p.Head, p.Tail
+	nL := 0
+	for _, v := range h[lo:hi] {
+		if v < c {
+			nL++
 		}
 	}
-	return i
+	split := lo + nL
+	moved := 0
+	i, j := lo, split
+	for {
+		for i < split && h[i] < c {
+			i++
+		}
+		for j < hi && h[j] >= c {
+			j++
+		}
+		if i == split {
+			// Misplaced counts on both sides are equal, so j == hi too.
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		t[i], t[j] = t[j], t[i]
+		moved += 2
+		i++
+		j++
+	}
+	p.Stats.Moved += moved
+	return split
+}
+
+// predBlock is the compaction block size of the predicated kernels: small
+// enough for the index buffers to live in L1, large enough to amortize the
+// per-block control branches to noise (one check per predBlock tuples).
+const predBlock = 256
+
+// crackInTwoPred is the branch-free predicated crack-in-two: the counting
+// pass is a 0/1 accumulation, and the repair phase block-compacts the
+// misplaced positions of each region into small index buffers using
+// store-always/advance-by-flag compaction, then swaps the paired positions
+// unconditionally. No per-tuple branch depends on the data anywhere — the
+// classic two-pointer loop mispredicts once per tuple on random data,
+// while here the only data-dependent control is one buffer check per
+// predBlock tuples. Pairing (k-th misplaced of the left region with the
+// k-th of the right) matches crackInTwoBranchy exactly, so layouts and
+// stats are identical (fuzz-pinned).
+func (p *Pairs) crackInTwoPred(c Value, lo, hi int) int {
+	h, t := p.Head, p.Tail
+	nL := 0
+	for _, v := range h[lo:hi] {
+		nL += int(b2v(v < c))
+	}
+	split := lo + nL
+	moved := 0
+	var bufI, bufJ [predBlock]int
+	i, j := lo, split
+	ni, ci, nj, cj := 0, 0, 0, 0
+	for {
+		if ni == ci {
+			ni, ci = 0, 0
+			for k := 0; k < predBlock && i < split; k++ {
+				bufI[ni] = i
+				ni += int(b2v(h[i] >= c))
+				i++
+			}
+		}
+		if nj == cj {
+			nj, cj = 0, 0
+			for k := 0; k < predBlock && j < hi; k++ {
+				bufJ[nj] = j
+				nj += int(b2v(h[j] < c))
+				j++
+			}
+		}
+		sw := min(ni-ci, nj-cj)
+		if sw == 0 {
+			// Misplaced counts on both sides are equal, so one drained
+			// side with an exhausted region means the repair is complete.
+			if (i == split && ni == ci) || (j == hi && nj == cj) {
+				break
+			}
+			continue
+		}
+		for k := 0; k < sw; k++ {
+			a, b := bufI[ci+k], bufJ[cj+k]
+			h[a], h[b] = h[b], h[a]
+			t[a], t[b] = t[b], t[a]
+		}
+		moved += 2 * sw
+		ci += sw
+		cj += sw
+	}
+	p.Stats.Moved += moved
+	return split
 }
 
 // CrackBound ensures a physical boundary for b exists, cracking the piece it
 // falls into if necessary, and returns the boundary position. The index is
-// updated. A no-op if the boundary already exists.
+// updated. A no-op if the boundary already exists. Under a non-default
+// Policy, a piece larger than the policy cap is first split at auxiliary
+// pivots.
 func (p *Pairs) CrackBound(b crackindex.Bound) int {
+	p.applyPolicy(b)
 	return p.crackBoundAt(b, p.Idx.PieceFor(b, len(p.Head)))
 }
 
@@ -157,11 +305,24 @@ func (p *Pairs) crackBoundAt(b crackindex.Bound, pc crackindex.Piece) int {
 	return pos
 }
 
-// crackInThree partitions positions [lo, hi) against both bounds in a
-// single pass (a Dutch-national-flag partition): values left of b1, then
-// values in [b1, b2), then values at-or-right of b2. Requires b1 < b2.
-// Returns the two split positions. Like crackInTwo it is a deterministic
-// function of the piece contents.
+// crackInThree partitions positions [lo, hi) against both bounds in one
+// classification pass: values left of b1, then values in [b1, b2), then
+// values at-or-right of b2. Requires b1 <= b2. Returns the two split
+// positions.
+//
+// The kernel is movement-optimal: it first counts the three classes (one
+// branch-free pass fixing the split positions), then repairs misplaced
+// tuples with direct 2-cycle swaps and 3-cycle rotations, so every
+// misplaced tuple is stored exactly once — the information-theoretic
+// minimum. Two crack-in-two passes are swap-based and therefore store
+// every tuple they move at least once too, over a superset of the
+// misplaced tuples, which makes Moved(crack-in-three) <= Moved(two
+// crack-in-twos) a theorem rather than an empirical observation
+// (TestCrackInThreeMovesNoMoreThanTwoPass pins it).
+//
+// Like crackInTwo it dispatches between the predicated default and the
+// branchy reference, which produce identical layouts, and is a
+// deterministic function of the piece contents.
 func (p *Pairs) crackInThree(b1, b2 crackindex.Bound, lo, hi int) (int, int) {
 	c1, ok1 := cut(b1)
 	c2, ok2 := cut(b2)
@@ -174,49 +335,230 @@ func (p *Pairs) crackInThree(b1, b2 crackindex.Bound, lo, hi int) (int, int) {
 	}
 	p.Stats.InThree++
 	p.Stats.Visited += hi - lo
+	if p.Branchy {
+		return p.crackInThreeBranchy(c1, c2, lo, hi)
+	}
+	return p.crackInThreePred(c1, c2, lo, hi)
+}
+
+// crackInThreeBranchy is the branchy reference of the count-then-permute
+// crack-in-three. The counting pass fixes the final regions A=[lo,lt),
+// B=[lt,gt), C=[gt,hi); repair then runs three greedy 2-cycle phases —
+// M-in-A with L-in-B, R-in-A with L-in-C, R-in-B with M-in-C, each a
+// pairwise swap of the k-th misplaced tuple of one region with the k-th
+// matching one of the other — and finishes the leftovers, which class
+// conservation forces into 3-cycles of a single orientation (one tuple per
+// region), with three-way rotations. Every misplaced tuple is written
+// exactly once: the minimum movement any correct partition can achieve.
+// The phase order and pairing are what crackInThreePred replicates.
+func (p *Pairs) crackInThreeBranchy(c1, c2 Value, lo, hi int) (int, int) {
 	h, t := p.Head, p.Tail
-	// Invariant: [lo,lt) left of b1, [lt,cur) in [b1,b2), [gt,hi) at-or-right
-	// of b2, [cur,gt) unexamined. Right-class elements met by the descending
-	// gt cursor stay in place for free; only genuinely misplaced tuples are
-	// swapped, so the pass does crack-in-two-like data movement while
-	// resolving both bounds in one traversal.
-	lt, cur, gt := lo, lo, hi
-	for cur < gt {
-		v := h[cur]
-		if v < c2 {
-			if v < c1 {
-				if lt != cur {
-					h[lt], h[cur] = v, h[lt]
-					t[lt], t[cur] = t[cur], t[lt]
-				}
-				lt++
-			}
-			cur++
-			continue
-		}
-		// v belongs at-or-right of b2: pull a non-right partner down from
-		// the top, skipping elements already in their final region.
-		for {
-			gt--
-			if cur == gt {
-				break
-			}
-			w := h[gt]
-			if w < c2 {
-				h[cur], h[gt] = w, v
-				t[cur], t[gt] = t[gt], t[cur]
-				if w < c1 {
-					if lt != cur {
-						h[lt], h[cur] = w, h[lt]
-						t[lt], t[cur] = t[cur], t[lt]
-					}
-					lt++
-				}
-				cur++
-				break
-			}
+	nL, nM := 0, 0
+	for _, v := range h[lo:hi] {
+		if v < c1 {
+			nL++
+		} else if v < c2 {
+			nM++
 		}
 	}
+	lt, gt := lo+nL, lo+nL+nM
+	moved := 0
+
+	// Phase 1: 2-cycles M-in-A <-> L-in-B.
+	i, j := lo, lt
+	for {
+		for i < lt && !(h[i] >= c1 && h[i] < c2) {
+			i++
+		}
+		for j < gt && h[j] >= c1 {
+			j++
+		}
+		if i == lt || j == gt {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		t[i], t[j] = t[j], t[i]
+		moved += 2
+		i++
+		j++
+	}
+	// Phase 2: 2-cycles R-in-A <-> L-in-C.
+	i, j = lo, gt
+	for {
+		for i < lt && h[i] < c2 {
+			i++
+		}
+		for j < hi && h[j] >= c1 {
+			j++
+		}
+		if i == lt || j == hi {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		t[i], t[j] = t[j], t[i]
+		moved += 2
+		i++
+		j++
+	}
+	// Phase 3: 2-cycles R-in-B <-> M-in-C.
+	i, j = lt, gt
+	for {
+		for i < gt && h[i] < c2 {
+			i++
+		}
+		for j < hi && !(h[j] >= c1 && h[j] < c2) {
+			j++
+		}
+		if i == gt || j == hi {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		t[i], t[j] = t[j], t[i]
+		moved += 2
+		i++
+		j++
+	}
+	// Phase 4: leftover 3-cycles, all of one orientation (each has exactly
+	// one tuple per region; a's class decides the rotation direction).
+	a, b, c := lo, lt, gt
+	for {
+		for a < lt && h[a] < c1 {
+			a++
+		}
+		for b < gt && h[b] >= c1 && h[b] < c2 {
+			b++
+		}
+		for c < hi && h[c] >= c2 {
+			c++
+		}
+		if a == lt || b == gt || c == hi {
+			break
+		}
+		if h[a] < c2 {
+			// M@a, R@b, L@c: a<-c, b<-a, c<-b.
+			h[a], h[b], h[c] = h[c], h[a], h[b]
+			t[a], t[b], t[c] = t[c], t[a], t[b]
+		} else {
+			// R@a, L@b, M@c: a<-b, b<-c, c<-a.
+			h[a], h[b], h[c] = h[b], h[c], h[a]
+			t[a], t[b], t[c] = t[b], t[c], t[a]
+		}
+		moved += 3
+		a++
+		b++
+		c++
+	}
+	p.Stats.Moved += moved
+	return lt, gt
+}
+
+// threeScratch pools the position-buffer scratch of crackInThreePred
+// (sized 2*piece+6 int32s), so repeated cold cracks allocate once per size
+// high-water mark instead of per call. Cracks run under their structure's
+// write lock, but independent structures (shards, map sets) crack in
+// parallel, hence a pool rather than a global.
+var threeScratch = sync.Pool{New: func() any { return new([]int32) }}
+
+// crackInThreePred is the branch-free predicated crack-in-three: the same
+// counting pass and repair phases as crackInThreeBranchy, but each region
+// is scanned exactly once, compacting the positions of its two misplaced
+// classes into index buffers with store-always/advance-by-flag compaction
+// (no data-dependent branch). The phase swap counts then follow from the
+// buffer lengths by arithmetic, and every swap and rotation is applied
+// unconditionally from the buffers. Pairing is scan-order on both sides of
+// every phase — exactly crackInThreeBranchy's — so layouts and stats are
+// identical (fuzz-pinned).
+func (p *Pairs) crackInThreePred(c1, c2 Value, lo, hi int) (int, int) {
+	if hi > math.MaxInt32 {
+		// Positions no longer fit the int32 compaction buffers; the
+		// branchy reference produces the identical layout.
+		return p.crackInThreeBranchy(c1, c2, lo, hi)
+	}
+	h, t := p.Head, p.Tail
+	nL, nM := 0, 0
+	for _, v := range h[lo:hi] {
+		nL += int(b2v(v < c1))
+		nM += int(b2v(v >= c1) & b2v(v < c2))
+	}
+	lt, gt := lo+nL, lo+nL+nM
+
+	// Per-class position buffers, sliced out of one pooled scratch. Each
+	// region needs capacity region-size+1 per class (store-always writes
+	// one slot past the final count).
+	aCap, bCap, cCap := lt-lo+1, gt-lt+1, hi-gt+1
+	sp := threeScratch.Get().(*[]int32)
+	if need := 2 * (aCap + bCap + cCap); cap(*sp) < need {
+		*sp = make([]int32, need)
+	}
+	s := *sp
+	bufAM, s := s[:aCap], s[aCap:]
+	bufAR, s := s[:aCap], s[aCap:]
+	bufBL, s := s[:bCap], s[bCap:]
+	bufBR, s := s[:bCap], s[bCap:]
+	bufCL, s := s[:cCap], s[cCap:]
+	bufCM := s[:cCap]
+
+	nAM, nAR := 0, 0
+	for i := lo; i < lt; i++ {
+		v := h[i]
+		bufAM[nAM] = int32(i)
+		nAM += int(b2v(v >= c1) & b2v(v < c2))
+		bufAR[nAR] = int32(i)
+		nAR += int(b2v(v >= c2))
+	}
+	nBL, nBR := 0, 0
+	for i := lt; i < gt; i++ {
+		v := h[i]
+		bufBL[nBL] = int32(i)
+		nBL += int(b2v(v < c1))
+		bufBR[nBR] = int32(i)
+		nBR += int(b2v(v >= c2))
+	}
+	nCL, nCM := 0, 0
+	for i := gt; i < hi; i++ {
+		v := h[i]
+		bufCL[nCL] = int32(i)
+		nCL += int(b2v(v < c1))
+		bufCM[nCM] = int32(i)
+		nCM += int(b2v(v >= c1) & b2v(v < c2))
+	}
+
+	// Greedy 2-cycle phases (pairing matches the branchy phases).
+	s1 := min(nAM, nBL) // M-in-A <-> L-in-B
+	for k := 0; k < s1; k++ {
+		a, b := int(bufAM[k]), int(bufBL[k])
+		h[a], h[b] = h[b], h[a]
+		t[a], t[b] = t[b], t[a]
+	}
+	s2 := min(nAR, nCL) // R-in-A <-> L-in-C
+	for k := 0; k < s2; k++ {
+		a, b := int(bufAR[k]), int(bufCL[k])
+		h[a], h[b] = h[b], h[a]
+		t[a], t[b] = t[b], t[a]
+	}
+	s3 := min(nBR, nCM) // R-in-B <-> M-in-C
+	for k := 0; k < s3; k++ {
+		a, b := int(bufBR[k]), int(bufCM[k])
+		h[a], h[b] = h[b], h[a]
+		t[a], t[b] = t[b], t[a]
+	}
+
+	// Leftover 3-cycles, single orientation by class conservation; the
+	// buffer tails are still in scan order, matching the branchy phase 4.
+	r1 := nAM - s1 // M@a, R@b, L@c: a<-c, b<-a, c<-b
+	for k := 0; k < r1; k++ {
+		pa, pb, pc := int(bufAM[s1+k]), int(bufBR[s3+k]), int(bufCL[s2+k])
+		h[pa], h[pb], h[pc] = h[pc], h[pa], h[pb]
+		t[pa], t[pb], t[pc] = t[pc], t[pa], t[pb]
+	}
+	r2 := nAR - s2 // R@a, L@b, M@c: a<-b, b<-c, c<-a
+	for k := 0; k < r2; k++ {
+		pa, pb, pc := int(bufAR[s2+k]), int(bufBL[s1+k]), int(bufCM[s3+k])
+		h[pa], h[pb], h[pc] = h[pb], h[pc], h[pa]
+		t[pa], t[pb], t[pc] = t[pb], t[pc], t[pa]
+	}
+	threeScratch.Put(sp)
+	p.Stats.Moved += 2*(s1+s2+s3) + 3*(r1+r2)
 	return lt, gt
 }
 
@@ -231,6 +573,14 @@ func (p *Pairs) crackInThree(b1, b2 crackindex.Bound, lo, hi int) (int, int) {
 // across maps replaying the same operation sequence.
 func (p *Pairs) CrackRange(pred store.Pred) (lo, hi int) {
 	b1, b2 := pred.LowerBound(), pred.UpperBound()
+	if p.Policy.Kind != Default {
+		// Pre-split oversized target pieces at auxiliary policy pivots.
+		// This runs before the path choice below, so the choice stays a
+		// deterministic function of (index state, policy) and aligned maps
+		// replaying the same sequence keep identical layouts.
+		p.applyPolicy(b1)
+		p.applyPolicy(b2)
+	}
 	if b1.Less(b2) {
 		pc := p.Idx.PieceFor(b1, len(p.Head))
 		if !pc.LoExact && (!pc.HasHiB || b2.Less(pc.HiBound)) {
@@ -241,9 +591,9 @@ func (p *Pairs) CrackRange(pred store.Pred) (lo, hi int) {
 		}
 		lo = p.crackBoundAt(b1, pc) // reuse the descent the probe already paid
 	} else {
-		lo = p.CrackBound(b1)
+		lo = p.crackBoundAt(b1, p.Idx.PieceFor(b1, len(p.Head)))
 	}
-	hi = p.CrackBound(b2)
+	hi = p.crackBoundAt(b2, p.Idx.PieceFor(b2, len(p.Head)))
 	if hi < lo {
 		// Possible only for empty predicates (e.g. lo > hi); normalize.
 		hi = lo

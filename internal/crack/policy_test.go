@@ -1,0 +1,274 @@
+package crack
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"crackstore/internal/crackindex"
+	"crackstore/internal/store"
+)
+
+// pieceSizes returns the sizes of all pieces of p in position order.
+func pieceSizes(p *Pairs) []int {
+	var cuts []int
+	p.Idx.Walk(func(b crackindex.Bound, pos int) { cuts = append(cuts, pos) })
+	var out []int
+	prev := 0
+	for _, c := range cuts {
+		out = append(out, c-prev)
+		prev = c
+	}
+	return append(out, p.Len()-prev)
+}
+
+func maxPieceSize(p *Pairs) int {
+	max := 0
+	for _, s := range pieceSizes(p) {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// areaKeys returns the sorted keys of the area CrackRange produced.
+func areaKeys(p *Pairs, lo, hi int) []Value {
+	out := append([]Value(nil), p.Tail[lo:hi]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestPolicySweepCapsPieces: under a sequential sweep — the pattern that
+// degrades plain cracking toward quadratic work — both adaptive policies
+// must leave no piece larger than the cap once the sweep has covered the
+// domain, while the Default policy keeps one pathologically large piece
+// until late in the sweep.
+func TestPolicySweepCapsPieces(t *testing.T) {
+	const n, cap, width = 1 << 14, 1 << 10, 256
+	for _, pol := range []Policy{
+		{Kind: Stochastic, Cap: cap, Seed: 7},
+		{Kind: Capped, Cap: cap},
+	} {
+		rng := rand.New(rand.NewSource(11))
+		p := randPairs(rng, n, n)
+		p.Policy = pol
+		for lo := int64(0); lo < n; lo += width {
+			alo, ahi := p.CrackRange(store.Range(lo, lo+width))
+			pred := store.Range(lo, lo+width)
+			for i := 0; i < p.Len(); i++ {
+				in := i >= alo && i < ahi
+				if pred.Matches(p.Head[i]) != in {
+					t.Fatalf("%v: wrong area for %v", pol.Kind, pred)
+				}
+			}
+		}
+		if !p.CheckPieces() {
+			t.Fatalf("%v: piece invariant violated", pol.Kind)
+		}
+		if got := maxPieceSize(p); got > cap {
+			t.Errorf("%v: max piece size %d after full sweep, want <= %d", pol.Kind, got, cap)
+		}
+		if p.Stats.Aux == 0 {
+			t.Errorf("%v: no auxiliary pivots introduced", pol.Kind)
+		}
+	}
+}
+
+// TestPolicyAuxPivotsAreOrdinaryBoundaries: an auxiliary pivot must be a
+// live index boundary like any query bound — a later crack whose bound
+// equals it pays no partition pass, and read-only probes see it.
+func TestPolicyAuxPivotsAreOrdinaryBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randPairs(rng, 8192, 8192)
+	p.Policy = Policy{Kind: Capped, Cap: 512}
+	p.CrackRange(store.Range(10, 20))
+	if p.Stats.Aux == 0 {
+		t.Fatal("capped crack on a cold 8192-tuple piece introduced no pivots")
+	}
+	// Find an aux pivot (any boundary that is not one of the query bounds).
+	qb1, qb2 := store.Range(10, 20).LowerBound(), store.Range(10, 20).UpperBound()
+	var aux crackindex.Bound
+	found := false
+	p.Idx.Walk(func(b crackindex.Bound, pos int) {
+		if !found && b != qb1 && b != qb2 {
+			aux, found = b, true
+		}
+	})
+	if !found {
+		t.Fatal("no auxiliary boundary recorded in the index")
+	}
+	if !p.Idx.Has(aux) {
+		t.Fatal("auxiliary boundary not live")
+	}
+	before := p.Stats
+	if pos := p.CrackBound(aux); pos < 0 {
+		t.Fatal("bad boundary position")
+	}
+	if p.Stats.InTwo != before.InTwo || p.Stats.InThree != before.InThree {
+		t.Fatal("cracking at an existing auxiliary pivot paid a partition pass")
+	}
+}
+
+// TestPolicyAnswersMatchDefault: whatever pivots a policy introduces, the
+// qualifying key set of every query must equal the Default policy's.
+func TestPolicyAnswersMatchDefault(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(2000)
+		head := make([]Value, n)
+		for i := range head {
+			head[i] = Value(rng.Int63n(300))
+		}
+		tail := make([]Value, n)
+		for i := range tail {
+			tail[i] = Value(i)
+		}
+		mk := func(pol Policy) *Pairs {
+			p := WrapPairs(append([]Value(nil), head...), append([]Value(nil), tail...))
+			p.Policy = pol
+			return p
+		}
+		def := mk(Policy{})
+		variants := []*Pairs{
+			mk(Policy{Kind: Stochastic, Cap: 64, Seed: uint64(seed)}),
+			mk(Policy{Kind: Capped, Cap: 64}),
+		}
+		for q := 0; q < 10; q++ {
+			pred := randPred(rng, 300)
+			dlo, dhi := def.CrackRange(pred)
+			want := areaKeys(def, dlo, dhi)
+			for _, v := range variants {
+				lo, hi := v.CrackRange(pred)
+				got := areaKeys(v, lo, hi)
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+				if !v.CheckPieces() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyReplayDeterminism: two structures replaying the same crack
+// sequence under the same (non-default) policy must produce bit-identical
+// layouts — the alignment invariant sideways map sets rely on.
+func TestPolicyReplayDeterminism(t *testing.T) {
+	for _, pol := range []Policy{
+		{Kind: Stochastic, Cap: 128, Seed: 42},
+		{Kind: Capped, Cap: 128},
+	} {
+		rng := rand.New(rand.NewSource(9))
+		a := randPairs(rng, 4096, 1024)
+		b := WrapPairs(append([]Value(nil), a.Head...), append([]Value(nil), a.Tail...))
+		a.Policy, b.Policy = pol, pol
+		for q := 0; q < 20; q++ {
+			pred := randPred(rng, 1024)
+			a.CrackRange(pred)
+			b.CrackRange(pred)
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Head[i] != b.Head[i] || a.Tail[i] != b.Tail[i] {
+				t.Fatalf("%v: replayed structures diverged at %d", pol.Kind, i)
+			}
+		}
+		if !sameBoundaries(a, b) {
+			t.Fatalf("%v: boundaries diverged", pol.Kind)
+		}
+	}
+}
+
+// TestPolicyWithRippleUpdates: auxiliary pivots must behave like ordinary
+// boundaries under ripple inserts and deletes.
+func TestPolicyWithRippleUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := randPairs(rng, 4096, 512)
+	p.Policy = Policy{Kind: Stochastic, Cap: 256, Seed: 1}
+	for q := 0; q < 8; q++ {
+		p.CrackRange(randPred(rng, 512))
+		vals := make([]Value, 16)
+		tails := make([]Value, 16)
+		for i := range vals {
+			vals[i] = Value(rng.Int63n(512))
+			tails[i] = Value(100000 + q*16 + i)
+		}
+		p.RippleInsertBatch(vals, tails)
+		var dead []int
+		for i := 0; i < 8 && p.Len() > 0; i++ {
+			pos := rng.Intn(p.Len())
+			dup := false
+			for _, d := range dead {
+				if d == pos {
+					dup = true
+				}
+			}
+			if !dup {
+				dead = append(dead, pos)
+			}
+		}
+		sort.Ints(dead)
+		p.RippleDeleteBatch(dead)
+		if !p.CheckPieces() {
+			t.Fatalf("piece invariant violated after round %d", q)
+		}
+	}
+}
+
+// TestPolicyDuplicateHeavyPieces: a piece of one repeated value larger than
+// the cap cannot be split; the policies must terminate and stay correct.
+func TestPolicyDuplicateHeavyPieces(t *testing.T) {
+	for _, pol := range []Policy{
+		{Kind: Stochastic, Cap: 16, Seed: 5},
+		{Kind: Capped, Cap: 16},
+	} {
+		head := make([]Value, 512)
+		tail := make([]Value, 512)
+		for i := range head {
+			head[i] = 7 // all duplicates
+			tail[i] = Value(i)
+		}
+		p := WrapPairs(head, tail)
+		p.Policy = pol
+		lo, hi := p.CrackRange(store.Range(5, 10))
+		if lo != 0 || hi != 512 {
+			t.Fatalf("%v: area (%d,%d), want (0,512)", pol.Kind, lo, hi)
+		}
+		if !p.CheckPieces() {
+			t.Fatalf("%v: piece invariant violated", pol.Kind)
+		}
+	}
+}
+
+// TestKindByName pins the flag-level policy names.
+func TestKindByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind PolicyKind
+		ok   bool
+	}{
+		{"default", Default, true},
+		{"stochastic", Stochastic, true},
+		{"capped", Capped, true},
+		{"radix", Default, false},
+	} {
+		k, ok := KindByName(tc.name)
+		if ok != tc.ok || (ok && k != tc.kind) {
+			t.Errorf("KindByName(%q) = %v,%v", tc.name, k, ok)
+		}
+		if ok && k.String() != tc.name {
+			t.Errorf("%v.String() = %q, want %q", k, k.String(), tc.name)
+		}
+	}
+}

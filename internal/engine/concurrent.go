@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"time"
+
+	"crackstore/internal/crack"
 )
 
 // Concurrent wraps an engine with the two-phase (probe/execute) locking
@@ -55,6 +57,14 @@ type rwEngine struct {
 
 func (s *rwEngine) Name() string { return s.e.Name() + " (concurrent)" }
 func (s *rwEngine) Kind() Kind   { return s.e.Kind() }
+
+// SetCrackPolicy forwards the adaptive cracking policy to the wrapped
+// engine under the write lock, reporting whether it cracks.
+func (s *rwEngine) SetCrackPolicy(pol crack.Policy) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SetPolicy(s.e, pol)
+}
 
 func (s *rwEngine) Query(q Query) (Result, Cost) {
 	// Fast path: execute read-only under the shared lock.

@@ -142,6 +142,36 @@ type JoinInput struct {
 	Fetch    func(attr string, i int) Value
 }
 
+// PolicyConfigurable is implemented by engines (and their shared-safe
+// wrappers) whose cracking kernel supports adaptive pivot policies
+// (crack.Policy): SelCrack, Sideways and PartialSideways. SetCrackPolicy
+// reports whether a cracking engine received the policy — wrappers
+// forward and propagate the inner engine's answer, so a wrapped Scan
+// still reports false. Policies must be configured before the first
+// query touches the relevant attribute — structures that replay shared
+// tapes freeze the policy at creation.
+type PolicyConfigurable interface {
+	SetCrackPolicy(pol crack.Policy) bool
+}
+
+// SetPolicy applies the adaptive cracking policy to e when its physical
+// design cracks, reporting whether it did. Non-cracking engines (Scan,
+// Presorted, RowStore) ignore policies.
+func SetPolicy(e Engine, pol crack.Policy) bool {
+	if pc, ok := e.(PolicyConfigurable); ok {
+		return pc.SetCrackPolicy(pol)
+	}
+	return false
+}
+
+// NewWithPolicy constructs an engine of the given kind over rel with the
+// adaptive cracking policy applied (a no-op for non-cracking kinds).
+func NewWithPolicy(kind Kind, rel *store.Relation, pol crack.Policy) Engine {
+	e := New(kind, rel)
+	SetPolicy(e, pol)
+	return e
+}
+
 // New constructs an engine of the given kind over rel (not copied).
 func New(kind Kind, rel *store.Relation) Engine {
 	switch kind {
@@ -276,6 +306,7 @@ type selCrackEngine struct {
 	rel  *store.Relation
 	cols map[string]*crack.Col
 	dead map[int]bool
+	pol  crack.Policy
 }
 
 // NewSelCrack returns the selection-cracking engine of CIDR 2007: cracker
@@ -287,6 +318,17 @@ func NewSelCrack(rel *store.Relation) Engine {
 
 func (e *selCrackEngine) Name() string { return "selection cracking" }
 func (e *selCrackEngine) Kind() Kind   { return SelCrack }
+
+// SetCrackPolicy configures the adaptive pivot policy for cracker columns.
+// Existing columns adopt it for future cracks (each column is independent,
+// so no cross-structure alignment is at stake).
+func (e *selCrackEngine) SetCrackPolicy(pol crack.Policy) bool {
+	e.pol = pol
+	for _, c := range e.cols {
+		c.P.Policy = pol
+	}
+	return true
+}
 
 func (e *selCrackEngine) Insert(vals ...Value) int {
 	e.rel.AppendRow(vals...)
@@ -325,7 +367,7 @@ func (e *selCrackEngine) col(attr string) *crack.Col {
 	if c, ok := e.cols[attr]; ok {
 		return c
 	}
-	c := crack.NewCol(e.rel.MustColumn(attr))
+	c := crack.NewColWithPolicy(e.rel.MustColumn(attr), e.pol)
 	for k := range e.dead {
 		c.Delete(k)
 	}
@@ -660,6 +702,14 @@ func NewSidewaysWithBudget(rel *store.Relation, budget int) Engine {
 func (e *sidewaysEngine) Name() string { return "sideways cracking" }
 func (e *sidewaysEngine) Kind() Kind   { return Sideways }
 
+// SetCrackPolicy configures the adaptive pivot policy for the store's
+// maps; it affects map sets created after the call (sets freeze their
+// policy at creation to keep tape replay aligned).
+func (e *sidewaysEngine) SetCrackPolicy(pol crack.Policy) bool {
+	e.st.Policy = pol
+	return true
+}
+
 func (e *sidewaysEngine) Insert(vals ...Value) int        { return e.st.Insert(vals...) }
 func (e *sidewaysEngine) Delete(key int)                  { e.st.Delete(key) }
 func (e *sidewaysEngine) Prepare(...string) time.Duration { return 0 }
@@ -735,6 +785,14 @@ func WrapPartial(st *partial.Store) Engine { return &partialEngine{st: st} }
 
 func (e *partialEngine) Name() string { return "partial sideways cracking" }
 func (e *partialEngine) Kind() Kind   { return PartialSideways }
+
+// SetCrackPolicy configures the adaptive pivot policy for chunk maps and
+// chunks; it affects sets created after the call (sets freeze their policy
+// at creation to keep area-tape replay aligned).
+func (e *partialEngine) SetCrackPolicy(pol crack.Policy) bool {
+	e.st.Policy = pol
+	return true
+}
 
 func (e *partialEngine) Insert(vals ...Value) int        { return e.st.Insert(vals...) }
 func (e *partialEngine) Delete(key int)                  { e.st.Delete(key) }

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"time"
+
+	"crackstore/internal/crack"
 )
 
 // Synchronized wraps an engine so it can be shared across goroutines.
@@ -33,6 +35,14 @@ type syncEngine struct {
 
 func (s *syncEngine) Name() string { return s.e.Name() + " (serialized)" }
 func (s *syncEngine) Kind() Kind   { return s.e.Kind() }
+
+// SetCrackPolicy forwards the adaptive cracking policy to the wrapped
+// engine under the mutex, reporting whether it cracks.
+func (s *syncEngine) SetCrackPolicy(pol crack.Policy) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SetPolicy(s.e, pol)
+}
 
 func (s *syncEngine) Query(q Query) (Result, Cost) {
 	s.mu.Lock()

@@ -34,6 +34,10 @@ type Config struct {
 	// giving later revisions a machine-readable perf trajectory to compare
 	// against.
 	JSONDir string
+	// Meta, when non-empty, is recorded verbatim in every BENCH_*.json
+	// this config emits (scale, policy caps, pattern parameters), so the
+	// committed artifacts are self-describing.
+	Meta map[string]string
 }
 
 // Default returns a laptop-scale configuration.
@@ -103,6 +107,11 @@ type Series struct {
 	// have no latency sample in Y; a nonzero count is surfaced in the JSON
 	// emission so a run with failures cannot pass as healthy.
 	Errors int
+	// Policy and Pattern, when set, record the adaptive cracking policy
+	// and the access pattern behind this series; they are emitted into the
+	// BENCH_*.json line so the artifact is self-describing.
+	Policy  string
+	Pattern string
 }
 
 // printSeries prints sampled points of several aligned series and, when

@@ -12,13 +12,16 @@ import (
 // future PRs a perf trajectory to diff against: cumulative_us[i] is the
 // total cost of answering queries 1..i+1.
 type benchSeriesJSON struct {
-	Title  string          `json:"title"`
-	XLabel string          `json:"xlabel"`
-	Series []benchLineJSON `json:"series"`
+	Title  string            `json:"title"`
+	XLabel string            `json:"xlabel"`
+	Meta   map[string]string `json:"meta,omitempty"`
+	Series []benchLineJSON   `json:"series"`
 }
 
 type benchLineJSON struct {
 	Name         string  `json:"name"`
+	Policy       string  `json:"policy,omitempty"`
+	Pattern      string  `json:"pattern,omitempty"`
 	Errors       int     `json:"errors,omitempty"`
 	PerQueryUs   []int64 `json:"per_query_us"`
 	CumulativeUs []int64 `json:"cumulative_us"`
@@ -32,6 +35,12 @@ func WriteSeriesJSON(dir, name, title, xlabel string, series []Series) error {
 	return Config{JSONDir: dir}.jsonSeries(name, title, xlabel, series)
 }
 
+// WriteSeriesJSONMeta is WriteSeriesJSON with document-level metadata
+// (rows, queries, policy caps, ...) recorded in the artifact.
+func WriteSeriesJSONMeta(dir, name, title, xlabel string, meta map[string]string, series []Series) error {
+	return Config{JSONDir: dir, Meta: meta}.jsonSeries(name, title, xlabel, series)
+}
+
 // jsonSeries writes the full per-query and cumulative latency series of one
 // figure panel as BENCH_<name>.json into Config.JSONDir.
 func (c Config) jsonSeries(name string, title, xlabel string, series []Series) error {
@@ -41,10 +50,12 @@ func (c Config) jsonSeries(name string, title, xlabel string, series []Series) e
 	if err := os.MkdirAll(c.JSONDir, 0o755); err != nil {
 		return err
 	}
-	doc := benchSeriesJSON{Title: title, XLabel: xlabel}
+	doc := benchSeriesJSON{Title: title, XLabel: xlabel, Meta: c.Meta}
 	for _, s := range series {
 		line := benchLineJSON{
 			Name:         s.Name,
+			Policy:       s.Policy,
+			Pattern:      s.Pattern,
 			Errors:       s.Errors,
 			PerQueryUs:   make([]int64, len(s.Y)),
 			CumulativeUs: make([]int64, len(s.Y)),

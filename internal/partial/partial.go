@@ -142,6 +142,14 @@ type Store struct {
 	// alignment optimization of Section 4.1.
 	ForceFullAlignment bool
 
+	// Policy is the adaptive cracking policy (crack.Policy) applied to
+	// chunk maps and their chunks. It is frozen per set at set creation —
+	// sibling chunks replay shared area tapes and must make identical
+	// pivot decisions — so set Policy before the first query touches an
+	// attribute. Lazy head-drop replay stays valid under every policy:
+	// a crack whose bounds are existing boundaries is a physical no-op.
+	Policy crack.Policy
+
 	queries        int
 	pinnedAreas    map[*area]bool // areas resolved by the in-flight query
 	statsMu        sync.Mutex     // guards colMin/colMax (lazily filled by read-only probes)
@@ -237,6 +245,10 @@ func (s *Store) Set(attr string) *Set {
 		ha:      crack.WrapPairs(head, tail),
 		pendDel: make(map[int]bool),
 	}
+	// ha.Policy doubles as the set's frozen policy snapshot: chunks and
+	// head-recovery replays copy it, so a later Store.Policy change cannot
+	// misalign an existing set.
+	set.ha.Policy = s.Policy
 	for k := range s.tombstones {
 		set.pendDel[k] = true
 	}
@@ -367,6 +379,7 @@ func (set *Set) ensureChunk(w *area, tailAttr string, pinned map[*chunk]bool) *c
 		}
 	}
 	c := &chunk{p: crack.WrapPairs(head, tail), lastCrack: set.st.queries}
+	c.p.Policy = set.ha.Policy
 	w.chunks[tailAttr] = c
 	return c
 }
@@ -434,6 +447,9 @@ func (set *Set) recoverHead(w *area, c *chunk) {
 	copy(head, set.ha.Head[w.lo:w.hi])
 	dummy := make([]Value, size)
 	tmp := crack.WrapPairs(head, dummy)
+	// Replay under the set's policy: the rebuilt head must make the same
+	// pivot decisions the chunk originally did to pair with its tail.
+	tmp.Policy = set.ha.Policy
 	headCol := set.st.rel.MustColumn(set.attr)
 	for i := 0; i < c.cursor; i++ {
 		e := w.tape[i]

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crackstore/internal/crack"
 	"crackstore/internal/engine"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	// BatchMax caps the queries collected into one admission batch;
 	// 0 means 64. Only used when Batch is set.
 	BatchMax int
+	// Policy, when non-nil, applies the adaptive cracking policy
+	// (crack.Policy) to the engine before serving begins. Leave nil to
+	// keep whatever policy the engine was constructed with. Engines whose
+	// physical design does not crack ignore it.
+	Policy *crack.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +112,11 @@ type Server struct {
 // engine.Concurrent. Close must be called to release the pool.
 func New(e engine.Engine, opts Options) *Server {
 	opts = opts.withDefaults()
+	if opts.Policy != nil {
+		// Apply before any query runs: tape-replaying structures freeze
+		// their policy at set creation.
+		engine.SetPolicy(e, *opts.Policy)
+	}
 	if !engine.IsShared(e) {
 		e = engine.Concurrent(e)
 	}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"crackstore/internal/crack"
 	"crackstore/internal/engine"
 	"crackstore/internal/store"
 )
@@ -47,6 +48,10 @@ type Options struct {
 	// the partition attribute, where balanced load matters more than
 	// pruning).
 	Hash bool
+	// Policy is the adaptive cracking policy (crack.Policy) applied to
+	// every inner engine at construction; the zero value is the default
+	// crack-at-query-bounds behavior.
+	Policy crack.Policy
 }
 
 // location maps a global tuple key to its shard and shard-local key.
@@ -134,9 +139,20 @@ func New(kind engine.Kind, rel *store.Relation, n int, opts Options) *Engine {
 	}
 	s.shards = make([]engine.Engine, n)
 	for i := range s.shards {
-		s.shards[i] = engine.Concurrent(engine.New(kind, rels[i]))
+		s.shards[i] = engine.Concurrent(engine.NewWithPolicy(kind, rels[i], opts.Policy))
 	}
 	return s
+}
+
+// SetCrackPolicy forwards the adaptive cracking policy to every shard,
+// reporting whether the shard engines crack. Like the per-engine setters,
+// call it before the first query.
+func (s *Engine) SetCrackPolicy(pol crack.Policy) bool {
+	applied := false
+	for _, sh := range s.shards {
+		applied = engine.SetPolicy(sh, pol) || applied
+	}
+	return applied
 }
 
 // quantileCuts returns the n-1 ascending shard boundaries (quantiles of
@@ -161,19 +177,10 @@ func quantileCuts(vals []Value, n int) []Value {
 // route returns the shard owning partition value v among n shards.
 func (s *Engine) route(v Value, n int) int {
 	if s.hash {
-		return int(mix64(uint64(v)) % uint64(n))
+		return int(store.Mix64(uint64(v)) % uint64(n))
 	}
 	// First boundary strictly above v; the outer bands are open-ended.
 	return sort.Search(len(s.cuts), func(i int) bool { return v < s.cuts[i] })
-}
-
-// mix64 is the splitmix64 finalizer: a cheap, well-distributed integer
-// hash for value-to-shard routing.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }
 
 // Shards returns the shard count.

@@ -82,6 +82,11 @@ type Set struct {
 
 	pendIns []int        // keys appended to base but not yet in the tape
 	pendDel map[int]bool // keys deleted but not yet in the tape
+
+	// policy is the store's cracking policy frozen at set creation: every
+	// map of the set replays the same tape and must make identical pivot
+	// decisions, so a later Store.Policy change must not split a set.
+	policy crack.Policy
 }
 
 // Attr returns the head attribute name.
@@ -117,6 +122,12 @@ type Store struct {
 	// first predicate's map set instead of consulting the self-organizing
 	// histograms for the most selective one (Section 3.3).
 	NaiveSetChoice bool
+
+	// Policy is the adaptive cracking policy (crack.Policy) applied to
+	// maps. It is snapshotted per map set at set creation: every map of a
+	// set must crack under one policy or tape replay would misalign the
+	// set, so set Policy before the first query touches an attribute.
+	Policy crack.Policy
 
 	statsMu        sync.Mutex       // guards colMin/colMax (lazily filled by read-only probes)
 	colMin, colMax map[string]Value // cached base column stats for fallback estimation
@@ -212,6 +223,7 @@ func (s *Store) Set(attr string) *Set {
 		baseLen: s.rel.NumRows(),
 		maps:    make(map[string]*Map),
 		pendDel: make(map[int]bool),
+		policy:  s.Policy,
 	}
 	for k := range s.tombstones {
 		set.pendDel[k] = true
@@ -238,7 +250,9 @@ func (set *Set) newMap(tailAttr string) *Map {
 	} else {
 		copy(tail, set.st.rel.MustColumn(tailAttr).Vals[:set.baseLen])
 	}
-	return &Map{tailAttr: tailAttr, pairs: crack.WrapPairs(head, tail)}
+	m := &Map{tailAttr: tailAttr, pairs: crack.WrapPairs(head, tail)}
+	m.pairs.Policy = set.policy
+	return m
 }
 
 // MapIfExists returns the map for tailAttr if materialized.

@@ -303,3 +303,12 @@ func Sum(vals []Value) Value {
 	}
 	return s
 }
+
+// Mix64 is the splitmix64 finalizer: a cheap, well-distributed integer
+// hash shared by value-to-shard routing and deterministic pivot sampling.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -32,9 +32,13 @@ func (g *Gen) Range(frac float64) store.Pred {
 }
 
 // RangeIn returns a range predicate of width frac*Domain located uniformly
-// within [lo, hi].
+// within [lo, hi]. The width is clamped to the window, so the generated
+// range never runs past hi even when frac*Domain exceeds hi-lo.
 func (g *Gen) RangeIn(lo, hi int64, frac float64) store.Pred {
 	width := int64(float64(g.Domain) * frac)
+	if width > hi-lo {
+		width = hi - lo
+	}
 	if width < 1 {
 		width = 1
 	}
@@ -83,6 +87,120 @@ func (g *Gen) Value() Value { return 1 + g.rng.Int63n(g.Domain) }
 
 // Intn exposes the underlying source for auxiliary choices (batch picks).
 func (g *Gen) Intn(n int) int { return g.rng.Intn(n) }
+
+// Sequential returns the q-th predicate of a left-to-right sweep: query q
+// covers the q-th adjacent window of width frac*Domain, wrapping around
+// once the sweep passes the domain end. This is the access shape of
+// cursor-style exploration (scrolling a time range), and the worst case
+// for plain cracking: every query cracks off a small piece of one huge
+// remainder that the next query re-scans, degrading toward quadratic
+// total work.
+func (g *Gen) Sequential(q int, frac float64) store.Pred {
+	width := int64(float64(g.Domain) * frac)
+	if width < 1 {
+		width = 1
+	}
+	steps := g.Domain / width
+	if steps < 1 {
+		steps = 1
+	}
+	lo := 1 + (int64(q)%steps)*width
+	hi := lo + width
+	if hi > g.Domain+1 {
+		hi = g.Domain + 1
+	}
+	return store.Range(lo, hi)
+}
+
+// ZoomIn returns the q-th predicate of a zoom-in sequence: the first query
+// covers the whole domain and each subsequent query halves the window
+// around a fixed interior target, restarting from the full domain once the
+// window bottoms out (a fresh drill-down). Like Sequential, each query
+// leaves most of its window uncracked for plain cracking to re-scan.
+func (g *Gen) ZoomIn(q int) store.Pred {
+	minWidth := g.Domain / 1024
+	if minWidth < 1 {
+		minWidth = 1
+	}
+	depth := 1
+	for w := g.Domain; w/2 >= minWidth; w /= 2 {
+		depth++
+	}
+	level := q % depth
+	width := g.Domain >> uint(level)
+	if width < 1 {
+		width = 1
+	}
+	// An interior target off the midpoints, so zoom windows do not line up
+	// with Capped's halving pivots by construction.
+	target := 1 + (g.Domain*5)/8
+	lo := target - width/2
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lo + width
+	if hi > g.Domain+1 {
+		hi = g.Domain + 1
+		lo = hi - width
+		if lo < 1 {
+			lo = 1
+		}
+	}
+	return store.Range(lo, hi)
+}
+
+// Periodic returns the q-th predicate of a periodic sweep: like Sequential
+// but the sweep covers the whole domain every period queries and then
+// repeats (a dashboard refresh cycling through panels). The first pass
+// behaves like a coarse sequential sweep; later passes revisit the same
+// windows.
+func (g *Gen) Periodic(q, period int, frac float64) store.Pred {
+	if period < 1 {
+		period = 1
+	}
+	width := int64(float64(g.Domain) * frac)
+	if width < 1 {
+		width = 1
+	}
+	step := g.Domain / int64(period)
+	if step < 1 {
+		step = 1
+	}
+	lo := 1 + int64(q%period)*step
+	hi := lo + width
+	if hi > g.Domain+1 {
+		hi = g.Domain + 1
+	}
+	if lo >= hi {
+		lo = hi - 1
+	}
+	return store.Range(lo, hi)
+}
+
+// PatternFunc returns the q-th predicate of an access pattern over g.
+type PatternFunc func(g *Gen, q int) store.Pred
+
+// Pattern maps a pattern name to its generator function: "random"
+// (uniform ranges of the given selectivity), "sequential", "zoomin"
+// (selectivity ignored; windows halve from the full domain), and
+// "periodic" (sweep repeating every 100 queries). ok is false for unknown
+// names.
+func Pattern(name string, frac float64) (f PatternFunc, ok bool) {
+	switch name {
+	case "random":
+		return func(g *Gen, q int) store.Pred { return g.Range(frac) }, true
+	case "sequential":
+		return func(g *Gen, q int) store.Pred { return g.Sequential(q, frac) }, true
+	case "zoomin":
+		return func(g *Gen, q int) store.Pred { return g.ZoomIn(q) }, true
+	case "periodic":
+		return func(g *Gen, q int) store.Pred { return g.Periodic(q, 100, frac) }, true
+	}
+	return nil, false
+}
+
+// PatternNames lists the patterns Pattern accepts, in presentation order.
+func PatternNames() []string { return []string{"random", "sequential", "zoomin", "periodic"} }
 
 // UpdateScenario describes the update experiments of Exp6 (Section 3.6):
 // every Frequency queries, Volume random updates arrive. An update is a
