@@ -3,9 +3,11 @@ package crackstore
 import (
 	"fmt"
 
+	"crackstore/client"
 	"crackstore/internal/crack"
 	"crackstore/internal/dict"
 	"crackstore/internal/engine"
+	"crackstore/internal/netserve"
 	"crackstore/internal/partial"
 	"crackstore/internal/serve"
 	"crackstore/internal/shard"
@@ -283,3 +285,50 @@ type ServeStats = serve.Stats
 // with Server.Do from any number of goroutines and must Close the server
 // when done.
 func Serve(e Engine, opts ServeOptions) *Server { return serve.New(e, opts) }
+
+// ErrServeTimeout is the distinct error Server.Do returns when
+// ServeOptions.Timeout expires before the query completes; timed-out
+// queries count in ServeStats.Errors and never leak a worker slot.
+var ErrServeTimeout = serve.ErrTimeout
+
+// DialOptions tunes a remote client: pooled connection count, response
+// frame cap, and dial timeout.
+type DialOptions = client.Options
+
+// RemoteClient is a connection to a crackserved daemon. It multiplexes any
+// number of concurrent callers over a small pool of TCP connections —
+// every request carries an ID, so many requests are in flight per
+// connection at once and responses are matched as the server finishes
+// them — and returns the same typed results (Result, Cost) the in-process
+// Engine API does.
+type RemoteClient = client.Client
+
+// RemoteStats is the scalar serving summary a daemon reports to
+// RemoteClient.Stats.
+type RemoteStats = client.Stats
+
+// Dial connects to a crackserved daemon (or any ListenAndServe listener)
+// at addr. Use it when the engine lives in another process:
+//
+//	c, err := crackstore.Dial("localhost:9090", crackstore.DialOptions{Conns: 2})
+//	res, cost, err := c.Query(q) // Engine.Query, over the wire
+//
+// For an engine in the same process, Open/Serve remain the faster path.
+func Dial(addr string, opts DialOptions) (*RemoteClient, error) { return client.Dial(addr, opts) }
+
+// NetServeOptions tunes a network server: the serving-layer knobs
+// (workers, batching, per-query Timeout, Policy) plus wire limits
+// (MaxFrame, MaxPipeline).
+type NetServeOptions = netserve.Options
+
+// NetServer serves an engine over TCP to RemoteClient peers. Close drains
+// gracefully: it answers everything in flight before shutting down.
+type NetServer = netserve.Server
+
+// ListenAndServe serves e over TCP at addr (e.g. ":9090") in a background
+// goroutine — the embeddable form of the crackserved daemon. The engine is
+// wrapped for sharing exactly as Serve wraps it. Remote peers connect with
+// Dial; Close the returned server to drain and stop.
+func ListenAndServe(addr string, e Engine, opts NetServeOptions) (*NetServer, error) {
+	return netserve.Listen(addr, e, opts)
+}

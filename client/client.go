@@ -1,0 +1,387 @@
+// Package client is the remote counterpart of the in-process engine API: a
+// connection to a crackserved daemon (or any internal/netserve listener)
+// that speaks the internal/wire protocol and returns the same typed
+// results — engine.Result, engine.Cost — an in-process Engine would.
+//
+// A Client multiplexes any number of concurrent callers over a small pool
+// of TCP connections. Every request carries an ID, so many requests from
+// many goroutines are in flight on one connection at once (pipelining) and
+// responses are matched as they arrive, in whatever order the server
+// finishes them. Calls are synchronous per goroutine: fire N goroutines to
+// keep N requests in flight.
+//
+// The crackstore root package re-exports Dial, so typical use is:
+//
+//	c, err := crackstore.Dial("localhost:9090", crackstore.DialOptions{Conns: 2})
+//	res, cost, err := c.Query(q) // same types as Engine.Query
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bufio"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/store"
+	"crackstore/internal/wire"
+)
+
+// Options tunes a Client.
+type Options struct {
+	// Conns is the number of pooled TCP connections; 0 means 1. Requests
+	// round-robin across them; each connection pipelines independently.
+	Conns int
+	// MaxFrame caps the size of an accepted response frame; 0 means
+	// wire.DefaultMaxFrame.
+	MaxFrame int
+	// DialTimeout bounds connection establishment; 0 means 5s.
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// ErrClosed is returned by calls on a closed Client.
+var ErrClosed = errors.New("client: connection is closed")
+
+// Stats is the scalar serving-statistics summary a server reports
+// (Client.Stats): query and error counts, throughput, and latency
+// percentiles as measured server-side.
+type Stats = wire.Stats
+
+// Client is a pooled, multiplexing connection to a remote engine.
+type Client struct {
+	conns  []*conn
+	rr     atomic.Uint64
+	closed atomic.Bool
+}
+
+// Dial connects to a crackserved daemon at addr.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{conns: make([]*conn, 0, opts.Conns)}
+	for i := 0; i < opts.Conns; i++ {
+		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		}
+		cn := newConn(nc, opts.MaxFrame)
+		c.conns = append(c.conns, cn)
+	}
+	return c, nil
+}
+
+// Close closes every pooled connection. In-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, cn := range c.conns {
+		cn.shutdown(ErrClosed)
+	}
+	return nil
+}
+
+// call sends one request on a healthy pooled connection and waits for its
+// response. A connection that has failed is skipped; when every connection
+// is down the last failure surfaces.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	start := c.rr.Add(1)
+	var lastErr error = ErrClosed
+	for i := 0; i < len(c.conns); i++ {
+		cn := c.conns[(start+uint64(i))%uint64(len(c.conns))]
+		resp, sent, err := cn.call(req)
+		if err == nil {
+			return resp, nil
+		}
+		if sent {
+			// The request reached the wire: it may have executed
+			// server-side, so failing over to another connection could
+			// run it twice (fatal for Insert). The failure is final.
+			return nil, err
+		}
+		lastErr = err // never sent: another pooled connection may be healthy
+	}
+	return nil, lastErr
+}
+
+// Query executes q remotely, exactly as Engine.Query would in-process: it
+// may reorganize (crack) server-side structures.
+func (c *Client) Query(q engine.Query) (engine.Result, engine.Cost, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpQuery, Query: q})
+	if err != nil {
+		return engine.Result{}, engine.Cost{}, err
+	}
+	if resp.Status != wire.StatusOK {
+		return engine.Result{}, engine.Cost{}, remoteErr(resp)
+	}
+	return resp.Result, resp.Cost, nil
+}
+
+// QueryRO executes q remotely only if the server can answer it without
+// reorganizing; ok reports whether it could (Engine.QueryRO semantics).
+func (c *Client) QueryRO(q engine.Query) (engine.Result, engine.Cost, bool, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpQueryRO, Query: q})
+	if err != nil {
+		return engine.Result{}, engine.Cost{}, false, err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		return resp.Result, resp.Cost, true, nil
+	case wire.StatusRefused:
+		return engine.Result{}, engine.Cost{}, false, nil
+	}
+	return engine.Result{}, engine.Cost{}, false, remoteErr(resp)
+}
+
+// Insert appends one tuple (relation attribute order) and returns its
+// global key, matching Engine.Insert.
+func (c *Client) Insert(vals ...store.Value) (int, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpInsert, Vals: vals})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != wire.StatusOK {
+		return 0, remoteErr(resp)
+	}
+	return resp.Key, nil
+}
+
+// Delete removes the tuple with the given global key, matching
+// Engine.Delete.
+func (c *Client) Delete(key int) error {
+	resp, err := c.call(&wire.Request{Op: wire.OpDelete, Key: key})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
+// Stats snapshots the server's serving-layer statistics.
+func (c *Client) Stats() (wire.Stats, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	if resp.Status != wire.StatusOK {
+		return wire.Stats{}, remoteErr(resp)
+	}
+	return resp.Stats, nil
+}
+
+func remoteErr(resp *wire.Response) error {
+	if resp.Status == wire.StatusRefused {
+		return fmt.Errorf("client: %v refused (would reorganize)", resp.Op)
+	}
+	return fmt.Errorf("client: remote %v failed: %s", resp.Op, resp.Err)
+}
+
+// ---------------------------------------------------------------------------
+// One pooled connection.
+
+// result pairs a routed response with a connection-level failure.
+type result struct {
+	resp *wire.Response
+	err  error
+}
+
+type conn struct {
+	nc       net.Conn
+	maxFrame int
+
+	sendq chan *outFrame // encoded request frames, callers -> writer
+	dead  chan struct{}  // closed by shutdown; unblocks writer and senders
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan result
+	err     error // sticky: set once the connection is unusable
+}
+
+// outFrame is one queued request frame. wrote records whether the writer
+// actually handed it to the socket: a failed call whose frame was never
+// written is provably safe to retry on another pooled connection, while
+// "merely enqueued" is not proof either way once the writer has started
+// draining.
+type outFrame struct {
+	buf   []byte
+	wrote atomic.Bool
+}
+
+// outFramePool recycles request frames. A frame is returned only after its
+// call received a successful response — which proves the writer finished
+// with the buffer — so steady-state calls allocate no fresh frame. Frames
+// of failed calls are dropped: on a dying connection the writer may still
+// hold them.
+var outFramePool = sync.Pool{
+	New: func() any { return new(outFrame) },
+}
+
+func newConn(nc net.Conn, maxFrame int) *conn {
+	cn := &conn{
+		nc:       nc,
+		maxFrame: maxFrame,
+		sendq:    make(chan *outFrame, 64),
+		dead:     make(chan struct{}),
+		pending:  make(map[uint64]chan result),
+	}
+	go cn.readLoop()
+	go cn.writeLoop()
+	return cn
+}
+
+// resultChPool recycles per-call waiter channels. Every registered channel
+// receives exactly one send (a routed response or the shutdown error —
+// pending-map removal makes the two mutually exclusive), so a channel is
+// provably empty again after the receive and safe to reuse.
+var resultChPool = sync.Pool{
+	New: func() any { return make(chan result, 1) },
+}
+
+// call registers a waiter, enqueues the request frame, and blocks for the
+// matched response. Many goroutines may be inside call on the same
+// connection at once — that is the pipelining; the writer goroutine
+// coalesces their frames into few syscalls. sent reports whether the
+// writer handed any of the request to the socket: a failure with
+// sent == false is safe to retry on another connection.
+func (cn *conn) call(req *wire.Request) (resp *wire.Response, sent bool, err error) {
+	ch := resultChPool.Get().(chan result)
+	defer resultChPool.Put(ch)
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
+		return nil, false, err
+	}
+	cn.nextID++ // IDs start at 1: ID 0 is the server's conn-level error channel
+	id := cn.nextID
+	req.ID = id
+	cn.pending[id] = ch
+	cn.mu.Unlock()
+
+	f := outFramePool.Get().(*outFrame)
+	f.buf = wire.AppendRequest(f.buf[:0], req)
+	f.wrote.Store(false)
+	select {
+	case <-cn.dead:
+		// Shutdown already failed every pending waiter, including ours;
+		// receive below so the accounting stays in one place. Checking
+		// dead first keeps a frame off the queue of a dying connection
+		// whenever the death is already observable.
+	default:
+		select {
+		case cn.sendq <- f:
+		case <-cn.dead:
+		}
+	}
+	res := <-ch
+	sent = f.wrote.Load()
+	if res.err == nil {
+		// A response arrived, so the frame was fully written long ago;
+		// the writer no longer references it.
+		outFramePool.Put(f)
+	}
+	return res.resp, sent, res.err
+}
+
+// writeLoop batches queued request frames onto the socket: one write per
+// drain of the queue, flushed when it momentarily empties — concurrent
+// callers pipelining through the same connection share syscalls instead of
+// paying one each. Frames still queued when the connection dies are never
+// marked written, so their callers may fail over to another connection.
+func (cn *conn) writeLoop() {
+	bw := bufio.NewWriterSize(cn.nc, 64<<10)
+	for {
+		select {
+		case f := <-cn.sendq:
+			f.wrote.Store(true) // before Write: buffered bytes may reach the wire later
+			if _, err := bw.Write(f.buf); err != nil {
+				cn.shutdown(fmt.Errorf("client: write: %w", err))
+				return
+			}
+			if len(cn.sendq) == 0 {
+				if err := bw.Flush(); err != nil {
+					cn.shutdown(fmt.Errorf("client: write: %w", err))
+					return
+				}
+			}
+		case <-cn.dead:
+			return
+		}
+	}
+}
+
+// readLoop routes responses to their waiters until the connection dies,
+// then fails everything still pending.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	for {
+		payload, err := wire.ReadFrame(br, cn.maxFrame)
+		if err != nil {
+			cn.shutdown(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			cn.shutdown(fmt.Errorf("client: protocol: %w", err))
+			return
+		}
+		if resp.ID == 0 {
+			// Connection-level server error (e.g. an oversized frame we
+			// sent): no specific waiter, the connection is done for.
+			cn.shutdown(fmt.Errorf("client: server: %s", resp.Err))
+			return
+		}
+		cn.mu.Lock()
+		ch, ok := cn.pending[resp.ID]
+		delete(cn.pending, resp.ID)
+		cn.mu.Unlock()
+		if !ok {
+			cn.shutdown(fmt.Errorf("client: protocol: response for unknown request %d", resp.ID))
+			return
+		}
+		r := resp
+		ch <- result{resp: &r}
+	}
+}
+
+// shutdown marks the connection failed, closes the socket, and fails every
+// pending waiter. First error wins; later calls are no-ops.
+func (cn *conn) shutdown(err error) {
+	cn.mu.Lock()
+	if cn.err != nil {
+		cn.mu.Unlock()
+		return
+	}
+	cn.err = err
+	waiters := cn.pending
+	cn.pending = make(map[uint64]chan result)
+	cn.mu.Unlock()
+	close(cn.dead) // stops the writer; unblocks senders
+	cn.nc.Close()  // unblocks the reader, which re-enters shutdown harmlessly
+	for _, ch := range waiters {
+		ch <- result{err: err}
+	}
+}

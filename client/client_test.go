@@ -1,0 +1,100 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/store"
+)
+
+func TestDialFailure(t *testing.T) {
+	// A listener we immediately close: dialing it must fail cleanly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, Options{DialTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("Dial to a closed port succeeded")
+	}
+}
+
+func TestCallsAfterClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { // accept and hold, so Dial succeeds
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	c.Close()
+	if _, _, err := c.Query(engine.Query{
+		Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(1, 2)}},
+	}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close = %v, want ErrClosed", err)
+	}
+	if _, err := c.Insert(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert after Close = %v, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestPeerDisconnectFailsPendingAndFutureCalls(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := Dial(ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	peer := <-accepted
+
+	// A call in flight when the peer hangs up must fail, not hang.
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Query(engine.Query{
+			Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(1, 2)}},
+		})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the wire
+	peer.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("in-flight call survived peer disconnect")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung after peer disconnect")
+	}
+	// And later calls fail fast on the dead pool.
+	if _, err := c.Insert(1, 2); err == nil {
+		t.Fatal("call on dead pool succeeded")
+	}
+}

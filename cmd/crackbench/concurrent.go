@@ -83,6 +83,33 @@ func (c concurrentConfig) queryPool() []engine.Query {
 	return pool
 }
 
+// churnGeometry returns the cold-range width and the span of valid lower
+// bounds, clamped so -sel close to (or above) 1 cannot drive the range
+// generator out of the domain. The remote benchmark shares it: both arms
+// of the comparison must draw identical cold queries.
+func (c concurrentConfig) churnGeometry() (width, span int64) {
+	width = int64(float64(c.Rows)*c.Sel) + 1
+	if width > int64(c.Rows)-1 {
+		width = int64(c.Rows) - 1
+	}
+	span = int64(c.Rows) - width
+	if span < 1 {
+		span = 1
+	}
+	return width, span
+}
+
+// coldQuery draws one query over a cold, almost certainly uncracked range:
+// it reorganizes and needs exclusive access — one global write lock for a
+// single engine, one shard's write lock for a sharded one.
+func coldQuery(rng *rand.Rand, width, span int64) engine.Query {
+	lo := 1 + rng.Int63n(span)
+	return engine.Query{
+		Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(lo, lo+width)}},
+		Projs: []string{"B"},
+	}
+}
+
 // runMode measures one engine configuration: build a fresh relation, wrap
 // it through build, warm the engine by running the whole pool once (every
 // range gets cracked and every map aligned), then fire Clients goroutines
@@ -99,16 +126,7 @@ func (c concurrentConfig) runMode(name string, build func(*store.Relation) engin
 
 	srv := serve.New(e, serve.Options{Workers: c.Clients, Batch: batch})
 	perClient := c.Queries / c.Clients
-	// Churn-range geometry; clamp so -sel close to (or above) 1 cannot
-	// drive the range generator out of the domain.
-	width := int64(float64(c.Rows)*c.Sel) + 1
-	if width > int64(c.Rows)-1 {
-		width = int64(c.Rows) - 1
-	}
-	span := int64(c.Rows) - width
-	if span < 1 {
-		span = 1
-	}
+	width, span := c.churnGeometry()
 	var wg sync.WaitGroup
 	for g := 0; g < c.Clients; g++ {
 		wg.Add(1)
@@ -118,15 +136,7 @@ func (c concurrentConfig) runMode(name string, build func(*store.Relation) engin
 			for i := 0; i < perClient; i++ {
 				q := pool[rng.Intn(len(pool))]
 				if c.Churn > 0 && rng.Float64() < c.Churn {
-					// A cold range: almost certainly uncracked, so this
-					// query reorganizes and needs exclusive access — one
-					// global write lock for the single engine, one shard's
-					// write lock for the sharded one.
-					lo := 1 + rng.Int63n(span)
-					q = engine.Query{
-						Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(lo, lo+width)}},
-						Projs: []string{"B"},
-					}
+					q = coldQuery(rng, width, span)
 				}
 				if _, _, err := srv.Do(q); err != nil {
 					panic(err)

@@ -12,6 +12,7 @@
 //	crackbench -clients 8 -json bench_out              # concurrent serving
 //	crackbench -shards 4 -clients 8                    # sharded serving
 //	crackbench -policy all -pattern all                # adaptive policies
+//	crackbench -remote localhost:9090 -clients 8       # vs crackserved
 //
 // Experiment ids: exp1 exp2 exp3 exp4 exp5 exp6 fig9 fig10 fig11 fig12
 // fig13 ablation all. Sizes default to a laptop-friendly scale; -scale paper uses
@@ -32,6 +33,13 @@
 // admission-batching variant). Adding -shards S also measures the relation
 // range-partitioned across S independently locked engines and emits
 // BENCH_sharded_serving.json next to the single-engine series.
+//
+// With -remote addr the same workload is instead fired over TCP at a
+// crackserved daemon (start it first with matching -rows/-seed; restart it
+// before churn runs so cold ranges are actually cold) and compared against
+// the in-process concurrent baseline, emitting BENCH_remote_serving.json.
+// The run exits nonzero if any query failed on either side of the wire, so
+// CI can use it as a protocol smoke test.
 package main
 
 import (
@@ -62,8 +70,26 @@ func main() {
 		srvBat  = flag.Bool("serve-batch", false, "concurrent mode: also run the admission-batching server variant")
 		policy  = flag.String("policy", "", "adaptive mode: cracking policy to measure (default|stochastic|capped|all); runs the policy-vs-pattern comparison and emits BENCH_adaptive_workloads.json (-json defaults to bench/)")
 		pattern = flag.String("pattern", "", "adaptive mode: access pattern to measure (random|sequential|zoomin|periodic|all)")
+		remote  = flag.String("remote", "", "run the remote serving benchmark against a crackserved daemon at this address (start it with matching -rows/-seed); emits BENCH_remote_serving.json and exits nonzero on any error")
+		conns   = flag.Int("conns", 0, "remote mode: pooled TCP connections (0 = default 2)")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		runRemoteBench(remoteConfig{
+			Addr:    *remote,
+			Clients: *clients,
+			Conns:   *conns,
+			Rows:    *rows,
+			Queries: *queries,
+			Pool:    *srvPool,
+			Sel:     *srvSel,
+			Churn:   *srvChrn, // cold ranges need a freshly started daemon to actually be cold
+			Seed:    *seed,
+			JSONDir: *jsonDir,
+		})
+		return
+	}
 
 	if *policy != "" || *pattern != "" {
 		runAdaptiveBench(*rows, *queries, *seed, *jsonDir, *policy, *pattern)

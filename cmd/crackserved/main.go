@@ -1,0 +1,119 @@
+// Command crackserved serves a crackstore engine over TCP: the network
+// daemon of the remote-serving subsystem. It builds a synthetic relation
+// (the same shape crackbench uses: attributes A, B, C with uniform values
+// in [1, rows], deterministic under -seed), wraps it in the chosen engine,
+// and listens for internal/wire clients — crackstore.Dial, or
+// crackbench -remote for load generation.
+//
+// Usage:
+//
+//	crackserved -addr :9090                                # sideways engine
+//	crackserved -kind selcrack -rows 1000000 -workers 8
+//	crackserved -shards 4 -policy stochastic               # sharded + adaptive
+//	crackserved -timeout 250ms                             # bound each query
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
+// answers everything in flight, prints the serving statistics, and exits.
+// A per-query -timeout keeps one slow crack from wedging a connection's
+// pipeline (timed-out queries fail with a distinct error, counted in the
+// stats, while the crack completes in the background).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crackstore/internal/crack"
+	"crackstore/internal/engine"
+	"crackstore/internal/netserve"
+	"crackstore/internal/serve"
+	"crackstore/internal/shard"
+	"crackstore/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address")
+		kindName = flag.String("kind", "sideways", "engine kind (scan|selcrack|presorted|sideways|partial|rowstore)")
+		shards   = flag.Int("shards", 0, "partition the relation across this many independently locked engines (0 = unsharded)")
+		policy   = flag.String("policy", "", "adaptive cracking policy (default|stochastic|capped; empty = crack at query bounds only)")
+		workers  = flag.Int("workers", 0, "concurrently executing queries (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		batch    = flag.Bool("batch", false, "enable admission batching of same-attribute queries")
+		rows     = flag.Int("rows", 200_000, "synthetic relation rows")
+		seed     = flag.Int64("seed", 1, "synthetic relation seed")
+		maxFrame = flag.Int("max-frame", 0, "largest accepted request frame in bytes (0 = default)")
+	)
+	flag.Parse()
+
+	kind, ok := engine.KindByName(*kindName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "crackserved: unknown engine kind %q\n", *kindName)
+		os.Exit(2)
+	}
+	var pol *crack.Policy
+	if *policy != "" {
+		pk, ok := crack.KindByName(*policy)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "crackserved: unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+		p := crack.Policy{Kind: pk}
+		pol = &p
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	domain := int64(*rows)
+	rel := store.Build("R", *rows, []string{"A", "B", "C"}, func(string, int) store.Value {
+		return 1 + rng.Int63n(domain)
+	})
+
+	var e engine.Engine
+	if *shards > 1 {
+		opts := shard.Options{Attr: "A"}
+		if pol != nil {
+			opts.Policy = *pol
+		}
+		e = shard.New(kind, rel, *shards, opts)
+	} else {
+		e = engine.New(kind, rel)
+	}
+
+	srv, err := netserve.Listen(*addr, e, netserve.Options{
+		Serve: serve.Options{
+			Workers: *workers,
+			Batch:   *batch,
+			Timeout: *timeout,
+			Policy:  pol,
+		},
+		MaxFrame: *maxFrame,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackserved: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crackserved: %s engine (%d rows, shards=%d, policy=%s) listening on %s\n",
+		kind, *rows, *shards, orDefault(*policy), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("crackserved: draining...")
+	t0 := time.Now()
+	srv.Close()
+	st := srv.Stats()
+	fmt.Printf("crackserved: drained in %v; served %d queries (%d errors), %.0f q/s, p50=%v p99=%v max=%v\n",
+		time.Since(t0).Round(time.Millisecond), st.Queries, st.Errors, st.QPS, st.P50, st.P99, st.Max)
+}
+
+func orDefault(policy string) string {
+	if policy == "" {
+		return "default"
+	}
+	return policy
+}

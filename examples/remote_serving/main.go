@@ -1,0 +1,106 @@
+// Remote serving: the engine in one process, clients in another, a
+// length-prefixed binary protocol in between. This example hosts a
+// sideways-cracking engine on a loopback TCP listener (the embeddable form
+// of the crackserved daemon), connects a multiplexing client, and drives
+// pipelined concurrent traffic through the wire — the same Query/Insert/
+// Delete API as in-process, now across a network boundary.
+//
+// Run it:
+//
+//	go run ./examples/remote_serving
+//
+// Against a real daemon the only change is the address:
+//
+//	crackserved -addr :9090 -rows 100000 &
+//	c, _ := crackstore.Dial("localhost:9090", crackstore.DialOptions{})
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	crackstore "crackstore"
+)
+
+const (
+	rows    = 100_000
+	clients = 16
+	perEach = 500
+)
+
+func main() {
+	// Host: any engine works; the sharded + adaptive stack composes too.
+	rng := rand.New(rand.NewSource(1))
+	rel := crackstore.Build("orders", rows,
+		[]string{"amount", "customer", "region"},
+		func(string, int) crackstore.Value { return 1 + rng.Int63n(rows) })
+	srv, err := crackstore.ListenAndServe("127.0.0.1:0",
+		crackstore.Open(crackstore.Sideways, rel),
+		crackstore.NetServeOptions{
+			// One slow crack must not wedge a connection's pipeline:
+			// bound every query and let stragglers finish off-path.
+			Serve: crackstore.ServeOptions{Workers: 8, Timeout: time.Second},
+		})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("serving %d rows on %s\n", rows, srv.Addr())
+
+	// Client: one pooled, multiplexing connection set; safe for any number
+	// of goroutines, each synchronous call pipelines over the shared conns.
+	c, err := crackstore.Dial(srv.Addr().String(), crackstore.DialOptions{Conns: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	// A remote insert is visible to remote queries exactly like an
+	// in-process one.
+	key, err := c.Insert(500, 42, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inserted tuple got global key %d\n", key)
+
+	pool := make([]crackstore.Query, 32)
+	for i := range pool {
+		lo := 1 + rng.Int63n(rows-200)
+		pool[i] = crackstore.Query{
+			Preds: []crackstore.AttrPred{{Attr: "amount", Pred: crackstore.Range(lo, lo+100)}},
+			Projs: []string{"customer"},
+		}
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perEach; i++ {
+				if _, _, err := c.Query(pool[r.Intn(len(pool))]); err != nil {
+					panic(err)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	st, err := c.Stats() // server-side serving statistics, over the wire
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n%d clients x %d queries over the wire in %v (%.0f q/s)\n",
+		clients, perEach, elapsed.Round(time.Millisecond),
+		float64(clients*perEach)/elapsed.Seconds())
+	fmt.Printf("server reports: %d queries, %d errors, p50=%v p99=%v\n",
+		st.Queries, st.Errors, st.P50, st.P99)
+	fmt.Println("\nEvery query crossed a real TCP connection: requests are")
+	fmt.Println("pipelined per connection and matched to responses by ID, so")
+	fmt.Println("a crack in progress never stalls the read-only answers behind it.")
+}

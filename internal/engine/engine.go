@@ -64,6 +64,18 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// KindByName maps an engine kind's String() form ("scan", "selcrack",
+// "presorted", "sideways", "partial", "rowstore") back to its Kind, for
+// command-line and configuration surfaces.
+func KindByName(name string) (Kind, bool) {
+	for _, k := range []Kind{Scan, SelCrack, Presorted, Sideways, PartialSideways, RowStore} {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Query is a multi-selection, multi-projection query. Preds are combined
 // conjunctively unless Disjunctive is set. The first predicate is treated
 // as the primary (most selective) one by engines without self-organizing

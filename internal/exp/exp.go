@@ -112,6 +112,14 @@ type Series struct {
 	// BENCH_*.json line so the artifact is self-describing.
 	Policy  string
 	Pattern string
+	// Transport, Conns and Pipeline describe a remote-serving series: the
+	// transport the queries traveled over ("tcp", or "in-process" for the
+	// local baseline), the pooled connections, and the per-connection
+	// pipeline depth (concurrent in-flight requests). Zero values are
+	// omitted from the JSON emission.
+	Transport string
+	Conns     int
+	Pipeline  int
 }
 
 // printSeries prints sampled points of several aligned series and, when

@@ -22,6 +22,9 @@ type benchLineJSON struct {
 	Name         string  `json:"name"`
 	Policy       string  `json:"policy,omitempty"`
 	Pattern      string  `json:"pattern,omitempty"`
+	Transport    string  `json:"transport,omitempty"`
+	Conns        int     `json:"conns,omitempty"`
+	Pipeline     int     `json:"pipeline,omitempty"`
 	Errors       int     `json:"errors,omitempty"`
 	PerQueryUs   []int64 `json:"per_query_us"`
 	CumulativeUs []int64 `json:"cumulative_us"`
@@ -56,6 +59,9 @@ func (c Config) jsonSeries(name string, title, xlabel string, series []Series) e
 			Name:         s.Name,
 			Policy:       s.Policy,
 			Pattern:      s.Pattern,
+			Transport:    s.Transport,
+			Conns:        s.Conns,
+			Pipeline:     s.Pipeline,
 			Errors:       s.Errors,
 			PerQueryUs:   make([]int64, len(s.Y)),
 			CumulativeUs: make([]int64, len(s.Y)),

@@ -1,0 +1,470 @@
+// Package netserve puts a network boundary in front of the serving layer:
+// a TCP server that speaks the internal/wire protocol and dispatches
+// decoded requests into a serve.Server, so remote clients
+// (crackstore/client, cmd/crackserved) reach the same bounded-concurrency,
+// admission-batched, latency-tracked execution path in-process callers get.
+//
+// Each accepted connection runs exactly two long-lived goroutines: a reader
+// that decodes frames and dispatches each request on its own (pipeline-
+// capped) goroutine, and a writer that serializes response frames back,
+// coalescing flushes while the connection is busy. Because every request
+// carries an ID and responses are written in completion order, a single
+// connection pipelines many in-flight requests — a slow crack does not
+// stall the answers of the read-only queries behind it (pair with
+// serve.Options.Timeout to bound the slow request itself).
+//
+// Malformed input never kills the process: an oversized frame or an
+// undecodable payload draws an error response and, when the stream can no
+// longer be trusted (framing desync), a clean close of that one connection.
+// Close drains gracefully — it stops accepting, unblocks the readers, waits
+// for every dispatched request to be answered and flushed, then closes the
+// connections and the serving layer.
+package netserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bufio"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/serve"
+	"crackstore/internal/wire"
+)
+
+// Options tunes the network server.
+type Options struct {
+	// Serve configures the underlying serving layer (worker pool,
+	// admission batching, per-query Timeout, cracking Policy).
+	Serve serve.Options
+	// MaxFrame caps frame sizes in both directions: request frames
+	// announcing more are rejected without allocation, and a response
+	// that would encode larger (a very wide result) is converted to an
+	// in-band error rather than shipped to a peer whose reader would
+	// reject it and drop the connection. 0 means wire.DefaultMaxFrame.
+	MaxFrame int
+	// MaxPipeline caps the in-flight requests per connection; 0 means 256.
+	// A client pipelining deeper is backpressured at the TCP level (the
+	// reader stops reading), never disconnected.
+	MaxPipeline int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	if o.MaxFrame > math.MaxUint32-4 {
+		// The frame length prefix is a uint32; a larger cap could let an
+		// encoded length wrap and desync the stream.
+		o.MaxFrame = math.MaxUint32 - 4
+	}
+	if o.MaxPipeline <= 0 {
+		o.MaxPipeline = 256
+	}
+	if o.Serve.LatencyWindow <= 0 {
+		// A network server is long-running by nature: without a window the
+		// latency history grows ~8 bytes per query forever. 2^20 samples
+		// (~8 MB) keeps percentiles meaningful at any realistic rate.
+		o.Serve.LatencyWindow = 1 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by Serve when the server has been closed.
+var ErrClosed = errors.New("netserve: server is closed")
+
+// Server serves a crackstore engine over TCP.
+type Server struct {
+	srv  *serve.Server
+	opts Options
+	// inlineRO enables the reader-goroutine fast path for read-only
+	// queries. Cracking and presorted engines answer QueryRO in sublinear
+	// time plus a clustered copy, so executing inline beats a goroutine
+	// handoff; the scan-family engines (Scan, RowStore) answer every query
+	// "read-only" with a full relation scan, which would serialize a
+	// connection's whole pipeline on its one reader — those always
+	// dispatch.
+	inlineRO bool
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	serveErr error // fatal accept error, surfaced by Close
+	closed   atomic.Bool
+	wg       sync.WaitGroup // accept loop + per-connection goroutines
+}
+
+// NewServer builds a network server over e without listening yet; call
+// Serve with a listener. The engine is wrapped exactly as serve.New does:
+// in engine.Concurrent unless it is already shared-safe.
+func NewServer(e engine.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	kind := e.Kind()
+	return &Server{
+		srv:      serve.New(e, opts.Serve),
+		opts:     opts,
+		inlineRO: kind != engine.Scan && kind != engine.RowStore,
+		conns:    make(map[*conn]struct{}),
+	}
+}
+
+// Listen starts serving e on addr (e.g. ":9090", "127.0.0.1:0") in a
+// background goroutine and returns once the listener is bound, so
+// Addr() is immediately valid.
+func Listen(addr string, e engine.Engine, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := NewServer(e, opts)
+	s.mu.Lock()
+	s.ln = ln // bind before the accept goroutine runs, so Addr() is valid now
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Serve accepts connections on ln until Close. It returns ErrClosed after
+// a graceful Close, or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln // no-op when Listen already bound it; last listener wins otherwise
+	s.mu.Unlock()
+	backoff := 5 * time.Millisecond
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return ErrClosed
+			}
+			// Transient accept failures (EMFILE under load, ECONNABORTED)
+			// must not silently kill the accept loop and leave a half-dead
+			// daemon; back off and retry. Only a closed listener is fatal.
+			if !errors.Is(err, net.ErrClosed) {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+			return err
+		}
+		backoff = 5 * time.Millisecond
+		c := &conn{
+			s:     s,
+			nc:    nc,
+			out:   make(chan *[]byte, 64),
+			limit: make(chan struct{}, s.opts.MaxPipeline),
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrClosed
+		}
+		s.conns[c] = struct{}{}
+		// Add under the lock: a concurrent Close between registration and
+		// Add would otherwise see a zero WaitGroup, Wait through it, and
+		// tear the serve layer down under this connection's goroutines.
+		s.wg.Add(2)
+		s.mu.Unlock()
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve/Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stats snapshots the serving-layer statistics (queries executed over all
+// connections; inserts and deletes are not counted as queries).
+func (s *Server) Stats() serve.Stats { return s.srv.Stats() }
+
+// Engine returns the shared (wrapped) engine requests execute against.
+func (s *Server) Engine() engine.Engine { return s.srv.Engine() }
+
+// Close drains the server gracefully: stop accepting, unblock every
+// connection's reader, answer and flush every request already dispatched,
+// close the connections, then close the serving layer. Idempotent. It
+// returns the fatal accept error if the listener died before Close (a
+// daemon that stopped accepting mid-run), nil after a clean shutdown.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		// Unblock the reader; it drains in-flight requests and shuts the
+		// connection down on its way out.
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.srv.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection handling.
+
+type conn struct {
+	s  *Server
+	nc net.Conn
+
+	out      chan *[]byte   // encoded response frames, reader/dispatch -> writer
+	limit    chan struct{}  // in-flight request cap (MaxPipeline slots)
+	inflight sync.WaitGroup // dispatched requests not yet answered
+
+	// inlineCooldown (reader-goroutine local) dispatches the next N
+	// requests off-reader after an inline execution overran inlineCutoff:
+	// one oversized read-only result may head-of-line block the pipeline
+	// once, but not repeatedly.
+	inlineCooldown int
+}
+
+// Inline fast-path feedback bounds: an inline execution longer than
+// inlineCutoff pushes the next inlineCooldownN requests onto dispatch
+// goroutines, restoring out-of-order completion for heavy streaks.
+const (
+	inlineCutoff    = 250 * time.Microsecond
+	inlineCooldownN = 64
+)
+
+// readLoop decodes request frames and dispatches them until the stream
+// ends (peer close, Close() deadline, or an unrecoverable protocol error),
+// then drains: waits for dispatched requests, lets the writer flush, and
+// closes the socket.
+func (c *conn) readLoop() {
+	defer c.s.wg.Done()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		payload, err := wire.ReadFrame(br, c.s.opts.MaxFrame)
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// The length prefix itself was intact: report the refusal
+				// before hanging up (the body was never read, so the
+				// stream position is unrecoverable).
+				c.send(&wire.Response{Status: wire.StatusErr, Err: err.Error()})
+			}
+			break
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// Framing was intact — only this payload is bad. If its header
+			// (op + ID) survives, answer the error in-band and keep
+			// serving the connection; otherwise the peer is not speaking
+			// our protocol and the connection ends.
+			if op, id, ok := headerOf(payload); ok {
+				c.send(&wire.Response{ID: id, Op: op, Status: wire.StatusErr, Err: err.Error()})
+				continue
+			}
+			c.send(&wire.Response{Status: wire.StatusErr, Err: err.Error()})
+			break
+		}
+		// Fast path: the warm read-only majority is answered inline — no
+		// goroutine handoff, no semaphore wait — whenever the engine can
+		// take the query without reorganizing and a slot is free. Slow
+		// queries (cracks, merges, updates, a momentarily full pool, a
+		// full-scan engine per Server.inlineRO, or a post-overrun cooldown)
+		// fall through to dispatch goroutines and complete out of order.
+		if req.Op == wire.OpQuery && c.s.inlineRO && c.inlineCooldown == 0 {
+			t0 := time.Now()
+			if res, cost, ok := c.s.srv.TryRO(req.Query); ok {
+				c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: res, Cost: cost})
+				if time.Since(t0) > inlineCutoff {
+					c.inlineCooldown = inlineCooldownN
+				}
+				continue
+			}
+		} else if c.inlineCooldown > 0 {
+			c.inlineCooldown--
+		}
+		c.limit <- struct{}{} // pipeline cap: backpressure instead of unbounded goroutines
+		c.inflight.Add(1)
+		go func(req wire.Request) {
+			defer c.inflight.Done()
+			resp := c.s.dispatch(&req)
+			c.send(resp)
+			<-c.limit
+		}(req)
+	}
+	c.inflight.Wait() // every dispatched request has queued its response
+	close(c.out)      // writer flushes the tail and exits
+	c.s.dropConn(c)
+}
+
+// frameBufPool recycles response frame buffers between requests: the
+// writer returns each buffer after it hits the socket, so steady-state
+// serving allocates no fresh frame per response.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// writeLoop serializes response frames onto the socket, flushing whenever
+// the queue momentarily empties (so pipelined bursts coalesce into few
+// syscalls without adding latency). On a write error it keeps draining the
+// channel so dispatch goroutines can never block on a dead connection.
+func (c *conn) writeLoop() {
+	defer c.s.wg.Done()
+	defer c.nc.Close()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	broken := false
+	for frame := range c.out {
+		if !broken {
+			if _, err := bw.Write(*frame); err != nil {
+				broken = true
+			} else if len(c.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					broken = true
+				}
+			}
+		}
+		*frame = (*frame)[:0]
+		frameBufPool.Put(frame)
+	}
+	if !broken {
+		bw.Flush()
+	}
+}
+
+// send enqueues one encoded response. A response whose frame exceeds
+// MaxFrame (the cap is symmetric: clients enforce it on reads) is replaced
+// by an in-band error for that one request — shipping it would make the
+// peer's frame reader kill the whole connection, failing every pipelined
+// call, for one oversized result. send never blocks forever: the writer
+// drains the channel until the reader closes it, even on a broken socket.
+func (c *conn) send(resp *wire.Response) {
+	buf := frameBufPool.Get().(*[]byte)
+	*buf = wire.AppendResponse(*buf, resp)
+	if len(*buf)-4 > c.s.opts.MaxFrame {
+		over := len(*buf) - 4
+		*buf = wire.AppendResponse((*buf)[:0], &wire.Response{
+			ID: resp.ID, Op: resp.Op, Status: wire.StatusErr,
+			Err: fmt.Sprintf("netserve: response frame %d bytes exceeds the %d-byte limit; narrow the query or raise MaxFrame", over, c.s.opts.MaxFrame),
+		})
+	}
+	c.out <- buf
+}
+
+// headerOf attempts to salvage the op and request ID from a payload whose
+// full decode failed, so the error can be delivered to the right waiter.
+func headerOf(payload []byte) (wire.Op, uint64, bool) {
+	if len(payload) < 1 {
+		return 0, 0, false
+	}
+	id, n := binary.Uvarint(payload[1:])
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return wire.Op(payload[0]), id, true
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch.
+
+// dispatch executes one decoded request against the serving layer and
+// builds its response. Engine panics (malformed tuples, unknown
+// attributes) become error responses, never process deaths.
+func (s *Server) dispatch(req *wire.Request) (resp *wire.Response) {
+	resp = &wire.Response{ID: req.ID, Op: req.Op}
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Status = wire.StatusErr
+			resp.Err = fmt.Sprintf("netserve: %v panicked: %v", req.Op, r)
+			resp.Result = engine.Result{}
+			resp.Cost = engine.Cost{}
+		}
+	}()
+	switch req.Op {
+	case wire.OpQuery:
+		res, cost, err := s.srv.Do(req.Query)
+		if err != nil {
+			resp.Status = wire.StatusErr
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Result, resp.Cost = res, cost
+	case wire.OpQueryRO:
+		// Read-only requests stay inside the serving layer so the worker
+		// bound, per-query deadline, and statistics apply to them exactly
+		// as to full queries. TryRO covers the common case; when it
+		// declines for lack of a free slot (or batching mode) rather than
+		// because the query would reorganize, fall through to Do — for a
+		// reorganization-free query that is the same read-only execution,
+		// just queued fairly behind the pool.
+		res, cost, ok := s.srv.TryRO(req.Query)
+		if !ok {
+			if s.srv.Engine().Probe(req.Query) {
+				resp.Status = wire.StatusRefused
+				return resp
+			}
+			var err error
+			res, cost, err = s.srv.Do(req.Query)
+			if err != nil {
+				resp.Status = wire.StatusErr
+				resp.Err = err.Error()
+				return resp
+			}
+		}
+		resp.Result, resp.Cost = res, cost
+	case wire.OpInsert:
+		resp.Key = s.srv.Engine().Insert(req.Vals...)
+	case wire.OpDelete:
+		s.srv.Engine().Delete(req.Key)
+	case wire.OpStats:
+		st := s.srv.Stats()
+		resp.Stats = wire.Stats{
+			Queries: st.Queries,
+			Errors:  st.Errors,
+			Elapsed: st.Elapsed,
+			QPS:     st.QPS,
+			P50:     st.P50,
+			P95:     st.P95,
+			P99:     st.P99,
+			Max:     st.Max,
+		}
+	default:
+		resp.Status = wire.StatusErr
+		resp.Err = fmt.Sprintf("netserve: unknown op %d", byte(req.Op))
+	}
+	return resp
+}
+
+var _ io.Closer = (*Server)(nil)

@@ -56,6 +56,23 @@ type Options struct {
 	// keep whatever policy the engine was constructed with. Engines whose
 	// physical design does not crack ignore it.
 	Policy *crack.Policy
+	// Timeout is an optional per-query deadline covering both the wait
+	// for an execution slot and the execution itself; 0 disables. A query
+	// whose deadline expires returns ErrTimeout (counted in Stats.Errors).
+	// Expiry never leaks a worker slot: a query already executing when its
+	// caller gives up finishes in the background and releases its slot,
+	// while the caller gets ErrTimeout immediately — so one slow crack
+	// cannot wedge the callers (or a network connection's pipeline) stuck
+	// behind it.
+	Timeout time.Duration
+	// LatencyWindow bounds the retained per-query latency samples: once
+	// full, the oldest samples are overwritten, so percentiles describe a
+	// sliding window of recent queries while Queries and QPS still count
+	// everything. 0 keeps every sample — right for bounded benchmark runs
+	// that export full series, fatal for a long-running daemon (a server
+	// at ~50k q/s would otherwise leak ~0.4 MB/s of history forever);
+	// netserve sets a window by default.
+	LatencyWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +94,11 @@ var ErrClosed = errors.New("serve: server is closed")
 // ErrEmptyQuery is returned for queries without predicates.
 var ErrEmptyQuery = errors.New("serve: query has no predicates")
 
+// ErrTimeout is returned by Do when Options.Timeout expires before the
+// query completes — whether it was still waiting for a slot or already
+// executing. Timed-out queries count in Stats.Errors.
+var ErrTimeout = errors.New("serve: query deadline exceeded")
+
 type request struct {
 	q    engine.Query
 	t0   time.Time
@@ -84,6 +106,19 @@ type request struct {
 	cost engine.Cost
 	err  error
 	done chan struct{}
+
+	// deadline is t0 + Options.Timeout (zero when timeouts are off).
+	deadline time.Time
+	// claimed decides, exactly once, who accounts for this request: the
+	// worker completing it or the Do call timing out. The loser records
+	// nothing and (worker side) discards its result, so a timed-out query
+	// is counted exactly once, as an error.
+	claimed atomic.Bool
+}
+
+// expired reports whether the request's deadline (if any) has passed.
+func (r *request) expired(now time.Time) bool {
+	return !r.deadline.IsZero() && now.After(r.deadline)
 }
 
 // Server executes queries from many clients against one shared engine.
@@ -98,13 +133,16 @@ type Server struct {
 	wg    sync.WaitGroup  // batching mode: workers + dispatcher
 
 	inDo   sync.WaitGroup // Do calls in flight (both modes)
+	bg     sync.WaitGroup // detached executions whose caller timed out
 	closed atomic.Bool
 
-	mu    sync.Mutex
-	lats  []time.Duration
-	errs  int       // executed queries that failed (panic or engine error)
-	first time.Time // earliest submission
-	last  time.Time // last completion
+	mu     sync.Mutex
+	lats   []time.Duration
+	latPos int       // LatencyWindow mode: next overwrite position once full
+	total  int       // completed successes ever (lats may be a window of them)
+	errs   int       // executed queries that failed (panic or engine error)
+	first  time.Time // earliest submission
+	last   time.Time // last completion
 }
 
 // New starts a server over e. Unless e is already a shared-safe wrapper
@@ -156,6 +194,9 @@ func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
 		return engine.Result{}, engine.Cost{}, ErrClosed
 	}
 	if !s.opts.Batch {
+		if s.opts.Timeout > 0 {
+			return s.doDirectDeadline(q, t0)
+		}
 		// Direct mode: execute on this goroutine under the semaphore.
 		s.sem <- struct{}{}
 		res, cost, err := safeQuery(s.e, q)
@@ -169,9 +210,139 @@ func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
 	}
 
 	req := &request{q: q, t0: t0, done: make(chan struct{})}
+	if s.opts.Timeout > 0 {
+		return s.doBatchDeadline(req)
+	}
 	s.admit <- req
 	<-req.done
 	return req.res, req.cost, req.err
+}
+
+// TryRO executes q immediately on the calling goroutine if the engine can
+// answer it without reorganizing and a worker slot is free right now,
+// recording it in the serving stats exactly like Do. ok is false — and
+// nothing has executed — when the query needs reorganization, no slot is
+// free, the server batches admissions, or the server is closed; callers
+// then fall back to Do. The point is dispatch cost: a network reader can
+// answer the warm read-only majority inline instead of paying a goroutine
+// handoff per request, while cracking queries still go through Do and
+// pipeline out of order.
+func (s *Server) TryRO(q engine.Query) (engine.Result, engine.Cost, bool) {
+	if len(q.Preds) == 0 || s.opts.Batch {
+		return engine.Result{}, engine.Cost{}, false
+	}
+	t0 := time.Now()
+	s.inDo.Add(1)
+	defer s.inDo.Done()
+	if s.closed.Load() {
+		return engine.Result{}, engine.Cost{}, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default: // all slots busy: let Do queue fairly
+		return engine.Result{}, engine.Cost{}, false
+	}
+	res, cost, ok := safeQueryRO(s.e, q)
+	<-s.sem
+	if !ok {
+		return engine.Result{}, engine.Cost{}, false
+	}
+	s.record(time.Since(t0), t0)
+	return res, cost, true
+}
+
+// safeQueryRO is QueryRO with the same panic conversion as safeQuery; a
+// panicking query reports !ok so the Do fallback surfaces the error.
+func safeQueryRO(e engine.Engine, q engine.Query) (res engine.Result, cost engine.Cost, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return e.QueryRO(q)
+}
+
+// outcome carries a detached execution's answer back to its Do call.
+type outcome struct {
+	res  engine.Result
+	cost engine.Cost
+	err  error
+}
+
+// doDirectDeadline is the direct-mode Do under Options.Timeout. The wait
+// for a semaphore slot is bounded by the deadline; once a slot is held the
+// query runs on a detached goroutine so an expiring deadline returns
+// ErrTimeout to the caller immediately while the execution finishes in the
+// background and releases the slot itself — expiry can neither interrupt an
+// engine mid-crack nor leak the slot.
+func (s *Server) doDirectDeadline(q engine.Query, t0 time.Time) (engine.Result, engine.Cost, error) {
+	timer := time.NewTimer(s.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-timer.C:
+		// Never got a slot; nothing to detach.
+		s.recordError(t0, time.Now())
+		return engine.Result{}, engine.Cost{}, ErrTimeout
+	}
+	var claimed atomic.Bool
+	ch := make(chan outcome, 1)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		res, cost, err := safeQuery(s.e, q)
+		<-s.sem
+		if !claimed.CompareAndSwap(false, true) {
+			return // caller timed out and accounted for the query; discard
+		}
+		if err != nil {
+			s.recordError(t0, time.Now())
+		} else {
+			s.record(time.Since(t0), t0)
+		}
+		ch <- outcome{res, cost, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.res, out.cost, out.err
+	case <-timer.C:
+		if claimed.CompareAndSwap(false, true) {
+			s.recordError(t0, time.Now())
+			return engine.Result{}, engine.Cost{}, ErrTimeout
+		}
+		// The execution claimed first; its buffered answer is ready.
+		out := <-ch
+		return out.res, out.cost, out.err
+	}
+}
+
+// doBatchDeadline is the batching-mode Do under Options.Timeout: admission
+// itself is bounded by the deadline, and a request whose deadline expires
+// while queued behind a slow crack is answered ErrTimeout right away — the
+// worker that eventually pops it sees the claim and skips execution.
+func (s *Server) doBatchDeadline(req *request) (engine.Result, engine.Cost, error) {
+	req.deadline = req.t0.Add(s.opts.Timeout)
+	timer := time.NewTimer(s.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case s.admit <- req:
+	case <-timer.C:
+		// Never admitted; the request is exclusively ours.
+		s.recordError(req.t0, time.Now())
+		return engine.Result{}, engine.Cost{}, ErrTimeout
+	}
+	select {
+	case <-req.done:
+		return req.res, req.cost, req.err
+	case <-timer.C:
+		if req.claimed.CompareAndSwap(false, true) {
+			s.recordError(req.t0, time.Now())
+			return engine.Result{}, engine.Cost{}, ErrTimeout
+		}
+		// A worker claimed the request concurrently; take its answer.
+		<-req.done
+		return req.res, req.cost, req.err
+	}
 }
 
 // safeQuery converts an engine panic (e.g. a predicate naming a column the
@@ -187,12 +358,12 @@ func safeQuery(e engine.Engine, q engine.Query) (res engine.Result, cost engine.
 	return res, cost, nil
 }
 
-// recordError counts an executed query that failed. Failed queries capture
-// no latency sample, so without this counter a run with failures would
-// silently report healthy percentiles and QPS over fewer queries. Both of
-// the query's endpoints still feed the run's wall clock (earliest
-// submission, latest completion): a failed query occupied the server just
-// the same.
+// recordError counts a query that failed — an execution error or a
+// deadline expiry. Failed queries capture no latency sample, so without
+// this counter a run with failures would silently report healthy
+// percentiles and QPS over fewer queries. Both of the query's endpoints
+// still feed the run's wall clock (earliest submission, latest
+// completion): a failed query occupied the server just the same.
 func (s *Server) recordError(t0, end time.Time) {
 	s.mu.Lock()
 	s.errs++
@@ -213,7 +384,15 @@ func (s *Server) recordError(t0, end time.Time) {
 // query.
 func (s *Server) record(lat time.Duration, t0 time.Time) {
 	s.mu.Lock()
-	s.lats = append(s.lats, lat)
+	s.total++
+	if w := s.opts.LatencyWindow; w > 0 && len(s.lats) >= w {
+		// Window full: overwrite round-robin so memory stays bounded on
+		// long-running servers.
+		s.lats[s.latPos] = lat
+		s.latPos = (s.latPos + 1) % w
+	} else {
+		s.lats = append(s.lats, lat)
+	}
 	s.noteStartLocked(t0)
 	if t := t0.Add(lat); t.After(s.last) {
 		s.last = t
@@ -289,14 +468,37 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for group := range s.work {
 		for _, req := range group {
-			req.res, req.cost, req.err = safeQuery(s.e, req.q)
-			if req.err == nil {
-				s.record(time.Since(req.t0), req.t0)
-			} else {
-				s.recordError(req.t0, time.Now())
-			}
-			close(req.done)
+			s.serveRequest(req)
 		}
+	}
+}
+
+// serveRequest executes one admitted request, honoring its deadline: an
+// abandoned or already-expired request is skipped without touching the
+// engine (that skip is what un-wedges a queue stuck behind a slow crack),
+// and a result whose caller timed out mid-execution is discarded — the
+// caller's ErrTimeout accounting already covered the query.
+func (s *Server) serveRequest(req *request) {
+	defer close(req.done)
+	if req.claimed.Load() {
+		return // caller timed out while the request was queued
+	}
+	if req.expired(time.Now()) {
+		if req.claimed.CompareAndSwap(false, true) {
+			req.err = ErrTimeout
+			s.recordError(req.t0, time.Now())
+		}
+		return
+	}
+	res, cost, err := safeQuery(s.e, req.q)
+	if !req.deadline.IsZero() && !req.claimed.CompareAndSwap(false, true) {
+		return // caller gave up mid-execution; discard
+	}
+	req.res, req.cost, req.err = res, cost, err
+	if err == nil {
+		s.record(time.Since(req.t0), req.t0)
+	} else {
+		s.recordError(req.t0, time.Now())
 	}
 }
 
@@ -307,6 +509,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.inDo.Wait() // let racing Do calls finish
+	s.bg.Wait()   // and detached timed-out executions release their slots
 	if s.opts.Batch {
 		close(s.admit)
 		s.wg.Wait()
@@ -316,11 +519,11 @@ func (s *Server) Close() {
 // Stats summarizes the serving run so far.
 type Stats struct {
 	Queries int // completed queries (successful; errored queries are not counted here)
-	// Errors counts executed queries that failed — an engine panic
-	// converted by safeQuery, typically a malformed query. Failed queries
-	// contribute no latency sample, so QPS and the percentiles describe
-	// the Queries successes only; a nonzero Errors flags that the run was
-	// not healthy.
+	// Errors counts queries that failed — an engine panic converted by
+	// safeQuery (typically a malformed query) or a deadline expiry
+	// (ErrTimeout under Options.Timeout). Failed queries contribute no
+	// latency sample, so QPS and the percentiles describe the Queries
+	// successes only; a nonzero Errors flags that the run was not healthy.
 	Errors  int
 	Elapsed time.Duration // earliest submission to last completion
 	QPS     float64       // Queries / Elapsed
@@ -330,24 +533,48 @@ type Stats struct {
 	// upward, so a reported tail percentile is never below the true one.
 	P50, P95, P99, Max time.Duration
 
-	// Latencies holds every captured per-query latency in completion
-	// order (a copy; safe to keep).
+	// Latencies holds the captured per-query latencies in completion
+	// order (a copy; safe to keep) — every sample, or the retained window
+	// when Options.LatencyWindow bounds it.
 	Latencies []time.Duration
 }
 
-// Stats captures a consistent snapshot of the server's counters.
+// Stats captures a consistent snapshot of the server's counters. With
+// LatencyWindow set, the percentiles (and Latencies) describe the most
+// recent window while Queries and QPS count every completed query.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	lats := append([]time.Duration(nil), s.lats...)
+	total := s.total
 	errs := s.errs
 	first, last := s.first, s.last
 	s.mu.Unlock()
 
-	st := Stats{Queries: len(lats), Errors: errs, Latencies: lats}
+	var elapsed time.Duration
+	if len(lats) > 0 {
+		elapsed = last.Sub(first)
+	}
+	st := Summarize(lats, errs, elapsed)
+	if total != st.Queries {
+		st.Queries = total
+		if st.Elapsed > 0 {
+			st.QPS = float64(total) / st.Elapsed.Seconds()
+		}
+	}
+	return st
+}
+
+// Summarize computes Stats from externally captured per-query latencies —
+// the same conservative nearest-rank percentile math the server applies to
+// its own samples, exported so load generators measuring from the client
+// side (crackbench -remote) report comparable numbers. lats is retained in
+// the returned Stats (not copied).
+func Summarize(lats []time.Duration, errors int, elapsed time.Duration) Stats {
+	st := Stats{Queries: len(lats), Errors: errors, Latencies: lats}
 	if len(lats) == 0 {
 		return st
 	}
-	st.Elapsed = last.Sub(first)
+	st.Elapsed = elapsed
 	if st.Elapsed > 0 {
 		st.QPS = float64(st.Queries) / st.Elapsed.Seconds()
 	}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/store"
+)
+
+// FuzzDecodeRequest pins the decoder's safety contract on arbitrary bytes:
+// it never panics, and when it does accept a payload, re-encoding the
+// decoded request yields a payload the decoder accepts again with an
+// identical re-encoding (a canonical-form fixed point).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range []Request{
+		{ID: 1, Op: OpQuery, Query: engine.Query{
+			Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(1, 9)}},
+			Projs: []string{"B"},
+		}},
+		{ID: 2, Op: OpQueryRO, Query: engine.Query{
+			Preds:       []engine.AttrPred{{Attr: "x", Pred: store.Point(7)}},
+			Disjunctive: true,
+		}},
+		{ID: 3, Op: OpInsert, Vals: []store.Value{-1, 0, 1 << 40}},
+		{ID: 4, Op: OpDelete, Key: 77},
+		{ID: 5, Op: OpStats},
+	} {
+		f.Add(AppendRequest(nil, &req)[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		re := AppendRequest(nil, &req)[4:]
+		req2, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v", err)
+		}
+		re2 := AppendRequest(nil, &req2)[4:]
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("request re-encoding is not a fixed point:\n %x\n %x", re, re2)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, resp := range []Response{
+		{ID: 1, Op: OpQuery, Status: StatusOK,
+			Result: engine.Result{N: 2, Cols: map[string][]store.Value{"B": {3, 4}}},
+			Cost:   engine.Cost{Sel: 10, TR: 20}},
+		{ID: 2, Op: OpQueryRO, Status: StatusRefused},
+		{ID: 3, Op: OpInsert, Status: StatusOK, Key: 5},
+		{ID: 4, Op: OpDelete, Status: StatusOK},
+		{ID: 5, Op: OpStats, Status: StatusOK, Stats: Stats{Queries: 10, QPS: 1.5}},
+		{ID: 6, Op: OpQuery, Status: StatusErr, Err: "boom"},
+	} {
+		f.Add(AppendResponse(nil, &resp)[4:])
+	}
+	f.Add([]byte{respTag})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			return
+		}
+		re := AppendResponse(nil, &resp)[4:]
+		resp2, err := DecodeResponse(re)
+		if err != nil {
+			t.Fatalf("re-encoded response rejected: %v", err)
+		}
+		re2 := AppendResponse(nil, &resp2)[4:]
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("response re-encoding is not a fixed point:\n %x\n %x", re, re2)
+		}
+	})
+}

@@ -1,0 +1,690 @@
+// Package wire implements the remote-serving protocol: a compact
+// length-prefixed binary encoding of the engine query/update API, so a
+// crackstore engine can be served over a TCP connection (internal/netserve)
+// and driven by a multiplexing client (crackstore/client).
+//
+// # Framing
+//
+// Every message travels as one frame:
+//
+//	+----------------+---------------------+
+//	| length uint32  | payload             |
+//	| big-endian     | (length bytes)      |
+//	+----------------+---------------------+
+//
+// The length counts payload bytes only. Readers enforce a maximum frame
+// size (MaxFrame / DefaultMaxFrame): a peer announcing a larger frame is a
+// protocol error, detected before any allocation, so a corrupt or
+// adversarial length prefix cannot make the receiver allocate gigabytes.
+//
+// # Payloads
+//
+// A payload is a message type byte, a request ID uvarint, and a
+// type-dependent body. Scalar integers are varints (encoding/binary);
+// strings are uvarint-counted; value slices (insert tuples, result
+// columns) are uvarint-counted fixed 8-byte little-endian words, which
+// en/decode an order of magnitude faster than varints on large results.
+// The request ID pairs a response with its request: responses may come
+// back in any order, which is what lets a single connection pipeline many
+// in-flight requests.
+//
+// Requests: OpQuery and OpQueryRO carry a Query (predicates, projections,
+// disjunctive flag); OpInsert carries the tuple values; OpDelete the tuple
+// key; OpStats is empty. Responses: StatusOK carries the op-specific body
+// (result+cost, inserted key, nothing, serving stats); StatusErr carries an
+// error string; StatusRefused is the QueryRO "would reorganize" answer.
+//
+// Decoding is strict: every read is bounds-checked, trailing garbage is an
+// error, and slice preallocations are capped by the bytes actually
+// remaining, so a truncated or adversarial frame can neither panic the
+// decoder nor make it over-allocate (FuzzDecodeRequest and
+// FuzzDecodeResponse pin both properties).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/store"
+)
+
+// DefaultMaxFrame is the frame-size cap used when a reader does not choose
+// its own: large enough for result sets of a few million tuples, small
+// enough that a corrupt length prefix cannot exhaust memory.
+const DefaultMaxFrame = 64 << 20
+
+// Op identifies a request kind (and echoes in its response).
+type Op byte
+
+// Request operations.
+const (
+	OpQuery   Op = 1 // full query: may reorganize (crack, merge, materialize)
+	OpQueryRO Op = 2 // reorganization-free query; refused if it would reorganize
+	OpInsert  Op = 3 // append one tuple
+	OpDelete  Op = 4 // delete by tuple key
+	OpStats   Op = 5 // serving-layer statistics snapshot
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpQuery:
+		return "query"
+	case OpQueryRO:
+		return "query-ro"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Status is the response disposition.
+type Status byte
+
+// Response statuses.
+const (
+	StatusOK      Status = 0 // body is the op-specific success payload
+	StatusErr     Status = 1 // body is an error string
+	StatusRefused Status = 2 // OpQueryRO only: executing would reorganize
+)
+
+// respTag marks a payload as a response (high bit set over the request op).
+const respTag byte = 0x80
+
+// Request is one decoded client request.
+type Request struct {
+	ID uint64
+	Op Op
+
+	// Query body (OpQuery, OpQueryRO).
+	Query engine.Query
+	// Vals is the tuple of an OpInsert, in relation attribute order.
+	Vals []store.Value
+	// Key is the tuple key of an OpDelete.
+	Key int
+}
+
+// Response is one decoded server response.
+type Response struct {
+	ID     uint64
+	Op     Op
+	Status Status
+	// Err is the error string of a StatusErr response.
+	Err string
+
+	// Result and Cost answer OpQuery / OpQueryRO.
+	Result engine.Result
+	Cost   engine.Cost
+	// Key answers OpInsert.
+	Key int
+	// Stats answers OpStats.
+	Stats Stats
+}
+
+// Stats is the wire form of the serving-layer statistics: scalar summary
+// only (the per-query latency series stays server-side).
+type Stats struct {
+	Queries int
+	Errors  int
+	Elapsed time.Duration
+	QPS     float64
+
+	P50, P95, P99, Max time.Duration
+}
+
+// Errors shared by the codec layer.
+var (
+	// ErrFrameTooLarge reports a length prefix above the reader's cap.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrCorrupt reports a payload that does not decode cleanly.
+	ErrCorrupt = errors.New("wire: corrupt payload")
+)
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+// AppendFrame appends the 4-byte length prefix and payload to buf.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// ReadFrame reads one length-prefixed payload from r. Frames longer than
+// maxFrame (DefaultMaxFrame when <= 0) return ErrFrameTooLarge before any
+// payload allocation. io.EOF is returned only on a clean boundary (no
+// partial header).
+func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated frame header: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	// Compare in uint64: converting a cap >= 2^32 to uint32 would wrap and
+	// reject (or mis-cap) every frame.
+	if uint64(n) > uint64(maxFrame) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated frame body: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ---------------------------------------------------------------------------
+// Primitive append/consume helpers.
+//
+// The appenders build payloads; the consumers are the strict inverses, each
+// returning the remaining bytes and a hard error on truncation. All sizes
+// decode through consumeLen, which rejects any announced element count that
+// could not fit in the bytes that remain — the property that keeps
+// preallocation proportional to real input.
+
+func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+func appendVarint(buf []byte, v int64) []byte   { return binary.AppendVarint(buf, v) }
+func appendString(buf []byte, s string) []byte {
+	return append(appendUvarint(buf, uint64(len(s))), s...)
+}
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+func appendDuration(buf []byte, d time.Duration) []byte {
+	return appendVarint(buf, int64(d))
+}
+
+func consumeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return v, b[n:], nil
+}
+
+func consumeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return v, b[n:], nil
+}
+
+// consumeLen decodes an element count and rejects counts that cannot fit in
+// the remaining bytes at minSize bytes per element, bounding every
+// subsequent make() by the true input size.
+func consumeLen(b []byte, minSize int) (int, []byte, error) {
+	v, rest, err := consumeUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if v > uint64(len(rest)/minSize) {
+		return 0, nil, ErrCorrupt
+	}
+	return int(v), rest, nil
+}
+
+func consumeString(b []byte) (string, []byte, error) {
+	n, rest, err := consumeLen(b, 1)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+func consumeBool(b []byte) (bool, []byte, error) {
+	if len(b) < 1 {
+		return false, nil, ErrCorrupt
+	}
+	switch b[0] {
+	case 0:
+		return false, b[1:], nil
+	case 1:
+		return true, b[1:], nil
+	}
+	return false, nil, ErrCorrupt
+}
+
+func consumeDuration(b []byte) (time.Duration, []byte, error) {
+	v, rest, err := consumeVarint(b)
+	return time.Duration(v), rest, err
+}
+
+// Value slices (insert tuples, result columns) use fixed 8-byte
+// little-endian encoding rather than varints: results carry thousands of
+// values per response, and a fixed-width loop en/decodes an order of
+// magnitude faster than per-value varints — on a loopback or datacenter
+// link the serving path is CPU-bound, not bandwidth-bound.
+
+func appendValues(buf []byte, vals []store.Value) []byte {
+	buf = appendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+func consumeValues(b []byte) ([]store.Value, []byte, error) {
+	n, rest, err := consumeLen(b, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := make([]store.Value, n)
+	for i := range vals {
+		vals[i] = store.Value(binary.LittleEndian.Uint64(rest[i*8:]))
+	}
+	return vals, rest[n*8:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Query / Result / Cost bodies.
+
+func appendPred(buf []byte, p store.Pred) []byte {
+	buf = appendVarint(buf, int64(p.Lo))
+	buf = appendVarint(buf, int64(p.Hi))
+	buf = appendBool(buf, p.LoIncl)
+	return appendBool(buf, p.HiIncl)
+}
+
+func consumePred(b []byte) (store.Pred, []byte, error) {
+	var (
+		p   store.Pred
+		lo  int64
+		hi  int64
+		err error
+	)
+	if lo, b, err = consumeVarint(b); err != nil {
+		return p, nil, err
+	}
+	if hi, b, err = consumeVarint(b); err != nil {
+		return p, nil, err
+	}
+	p.Lo, p.Hi = store.Value(lo), store.Value(hi)
+	if p.LoIncl, b, err = consumeBool(b); err != nil {
+		return p, nil, err
+	}
+	if p.HiIncl, b, err = consumeBool(b); err != nil {
+		return p, nil, err
+	}
+	return p, b, nil
+}
+
+func appendQuery(buf []byte, q engine.Query) []byte {
+	buf = appendUvarint(buf, uint64(len(q.Preds)))
+	for _, ap := range q.Preds {
+		buf = appendString(buf, ap.Attr)
+		buf = appendPred(buf, ap.Pred)
+	}
+	buf = appendUvarint(buf, uint64(len(q.Projs)))
+	for _, p := range q.Projs {
+		buf = appendString(buf, p)
+	}
+	return appendBool(buf, q.Disjunctive)
+}
+
+func consumeQuery(b []byte) (engine.Query, []byte, error) {
+	var (
+		q   engine.Query
+		n   int
+		err error
+	)
+	if n, b, err = consumeLen(b, 5); err != nil { // attr len + 4 pred bytes minimum
+		return q, nil, err
+	}
+	if n > 0 {
+		q.Preds = make([]engine.AttrPred, n)
+		for i := range q.Preds {
+			if q.Preds[i].Attr, b, err = consumeString(b); err != nil {
+				return q, nil, err
+			}
+			if q.Preds[i].Pred, b, err = consumePred(b); err != nil {
+				return q, nil, err
+			}
+		}
+	}
+	if n, b, err = consumeLen(b, 1); err != nil {
+		return q, nil, err
+	}
+	if n > 0 {
+		q.Projs = make([]string, n)
+		for i := range q.Projs {
+			if q.Projs[i], b, err = consumeString(b); err != nil {
+				return q, nil, err
+			}
+		}
+	}
+	if q.Disjunctive, b, err = consumeBool(b); err != nil {
+		return q, nil, err
+	}
+	return q, b, nil
+}
+
+// appendResult encodes a result in sorted column order, so the encoding of
+// a given Result is canonical regardless of map iteration order — the
+// answer-equivalence tests byte-compare encodings.
+func appendResult(buf []byte, res engine.Result) []byte {
+	buf = appendUvarint(buf, uint64(res.N))
+	names := make([]string, 0, len(res.Cols))
+	for name := range res.Cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = appendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = appendString(buf, name)
+		buf = appendValues(buf, res.Cols[name])
+	}
+	return buf
+}
+
+func consumeResult(b []byte) (engine.Result, []byte, error) {
+	var (
+		res engine.Result
+		n   uint64
+		err error
+	)
+	if n, b, err = consumeUvarint(b); err != nil {
+		return res, nil, err
+	}
+	// N is the row count, not a buffer size; cap it sanely rather than
+	// against remaining bytes (columns may legitimately be absent).
+	if n > math.MaxInt32 {
+		return res, nil, ErrCorrupt
+	}
+	res.N = int(n)
+	cols, b, err := consumeLen(b, 2) // name len + value count minimum
+	if err != nil {
+		return res, nil, err
+	}
+	res.Cols = make(map[string][]store.Value, cols)
+	for i := 0; i < cols; i++ {
+		var (
+			name string
+			vals []store.Value
+		)
+		if name, b, err = consumeString(b); err != nil {
+			return res, nil, err
+		}
+		if vals, b, err = consumeValues(b); err != nil {
+			return res, nil, err
+		}
+		if _, dup := res.Cols[name]; dup {
+			return res, nil, ErrCorrupt
+		}
+		res.Cols[name] = vals
+	}
+	return res, b, nil
+}
+
+func appendCost(buf []byte, c engine.Cost) []byte {
+	buf = appendDuration(buf, c.Sel)
+	return appendDuration(buf, c.TR)
+}
+
+func consumeCost(b []byte) (engine.Cost, []byte, error) {
+	var (
+		c   engine.Cost
+		err error
+	)
+	if c.Sel, b, err = consumeDuration(b); err != nil {
+		return c, nil, err
+	}
+	if c.TR, b, err = consumeDuration(b); err != nil {
+		return c, nil, err
+	}
+	return c, b, nil
+}
+
+func appendStats(buf []byte, st Stats) []byte {
+	buf = appendUvarint(buf, uint64(st.Queries))
+	buf = appendUvarint(buf, uint64(st.Errors))
+	buf = appendDuration(buf, st.Elapsed)
+	buf = appendUvarint(buf, math.Float64bits(st.QPS))
+	buf = appendDuration(buf, st.P50)
+	buf = appendDuration(buf, st.P95)
+	buf = appendDuration(buf, st.P99)
+	return appendDuration(buf, st.Max)
+}
+
+func consumeStats(b []byte) (Stats, []byte, error) {
+	var (
+		st  Stats
+		u   uint64
+		err error
+	)
+	if u, b, err = consumeUvarint(b); err != nil {
+		return st, nil, err
+	}
+	// Counters are 64-bit ints: a long-lived daemon legitimately exceeds
+	// 2^31 queries within hours at measured rates.
+	if u > math.MaxInt64 {
+		return st, nil, ErrCorrupt
+	}
+	st.Queries = int(u)
+	if u, b, err = consumeUvarint(b); err != nil {
+		return st, nil, err
+	}
+	if u > math.MaxInt64 {
+		return st, nil, ErrCorrupt
+	}
+	st.Errors = int(u)
+	if st.Elapsed, b, err = consumeDuration(b); err != nil {
+		return st, nil, err
+	}
+	if u, b, err = consumeUvarint(b); err != nil {
+		return st, nil, err
+	}
+	st.QPS = math.Float64frombits(u)
+	if st.P50, b, err = consumeDuration(b); err != nil {
+		return st, nil, err
+	}
+	if st.P95, b, err = consumeDuration(b); err != nil {
+		return st, nil, err
+	}
+	if st.P99, b, err = consumeDuration(b); err != nil {
+		return st, nil, err
+	}
+	if st.Max, b, err = consumeDuration(b); err != nil {
+		return st, nil, err
+	}
+	return st, b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Request codec.
+
+// beginFrame reserves the 4-byte length prefix in buf, returning its
+// offset; endFrame backfills it once the payload has been encoded in
+// place. Encoding directly into the destination (the pooled frame buffers
+// of netserve and the client) avoids a per-message scratch allocation and
+// a full payload copy on the hot path.
+func beginFrame(buf []byte) ([]byte, int) {
+	return append(buf, 0, 0, 0, 0), len(buf)
+}
+
+func endFrame(buf []byte, start int) []byte {
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// AppendRequest appends req as one complete frame (prefix included).
+func AppendRequest(buf []byte, req *Request) []byte {
+	buf, start := beginFrame(buf)
+	buf = append(buf, byte(req.Op))
+	buf = appendUvarint(buf, req.ID)
+	switch req.Op {
+	case OpQuery, OpQueryRO:
+		buf = appendQuery(buf, req.Query)
+	case OpInsert:
+		buf = appendValues(buf, req.Vals)
+	case OpDelete:
+		buf = appendVarint(buf, int64(req.Key))
+	case OpStats:
+		// no body
+	default:
+		panic(fmt.Sprintf("wire: cannot encode request op %v", req.Op))
+	}
+	return endFrame(buf, start)
+}
+
+// DecodeRequest decodes one request payload (a frame body).
+func DecodeRequest(payload []byte) (Request, error) {
+	var req Request
+	if len(payload) < 1 {
+		return req, ErrCorrupt
+	}
+	op, b := Op(payload[0]), payload[1:]
+	var err error
+	if req.ID, b, err = consumeUvarint(b); err != nil {
+		return req, err
+	}
+	req.Op = op
+	switch op {
+	case OpQuery, OpQueryRO:
+		if req.Query, b, err = consumeQuery(b); err != nil {
+			return req, err
+		}
+	case OpInsert:
+		if req.Vals, b, err = consumeValues(b); err != nil {
+			return req, err
+		}
+	case OpDelete:
+		var k int64
+		if k, b, err = consumeVarint(b); err != nil {
+			return req, err
+		}
+		if k < 0 {
+			return req, ErrCorrupt
+		}
+		req.Key = int(k)
+	case OpStats:
+		// no body
+	default:
+		return req, fmt.Errorf("%w: unknown request op %d", ErrCorrupt, byte(op))
+	}
+	if len(b) != 0 {
+		return req, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	return req, nil
+}
+
+// ---------------------------------------------------------------------------
+// Response codec.
+
+// AppendResponse appends resp as one complete frame (prefix included).
+func AppendResponse(buf []byte, resp *Response) []byte {
+	buf, start := beginFrame(buf)
+	buf = append(buf, byte(resp.Op)|respTag)
+	buf = appendUvarint(buf, resp.ID)
+	buf = append(buf, byte(resp.Status))
+	switch resp.Status {
+	case StatusErr:
+		buf = appendString(buf, resp.Err)
+	case StatusRefused:
+		// no body: the query must be retried as OpQuery
+	case StatusOK:
+		switch resp.Op {
+		case OpQuery, OpQueryRO:
+			buf = appendResult(buf, resp.Result)
+			buf = appendCost(buf, resp.Cost)
+		case OpInsert:
+			buf = appendVarint(buf, int64(resp.Key))
+		case OpDelete:
+			// no body
+		case OpStats:
+			buf = appendStats(buf, resp.Stats)
+		default:
+			panic(fmt.Sprintf("wire: cannot encode response op %v", resp.Op))
+		}
+	default:
+		panic(fmt.Sprintf("wire: cannot encode response status %d", resp.Status))
+	}
+	return endFrame(buf, start)
+}
+
+// DecodeResponse decodes one response payload (a frame body).
+func DecodeResponse(payload []byte) (Response, error) {
+	var resp Response
+	if len(payload) < 1 {
+		return resp, ErrCorrupt
+	}
+	tagged, b := payload[0], payload[1:]
+	if tagged&respTag == 0 {
+		return resp, fmt.Errorf("%w: payload is not a response", ErrCorrupt)
+	}
+	resp.Op = Op(tagged &^ respTag)
+	var err error
+	if resp.ID, b, err = consumeUvarint(b); err != nil {
+		return resp, err
+	}
+	if len(b) < 1 {
+		return resp, ErrCorrupt
+	}
+	resp.Status, b = Status(b[0]), b[1:]
+	switch resp.Status {
+	case StatusErr:
+		if resp.Err, b, err = consumeString(b); err != nil {
+			return resp, err
+		}
+	case StatusRefused:
+		if resp.Op != OpQueryRO {
+			return resp, fmt.Errorf("%w: refused status on %v", ErrCorrupt, resp.Op)
+		}
+	case StatusOK:
+		switch resp.Op {
+		case OpQuery, OpQueryRO:
+			if resp.Result, b, err = consumeResult(b); err != nil {
+				return resp, err
+			}
+			if resp.Cost, b, err = consumeCost(b); err != nil {
+				return resp, err
+			}
+		case OpInsert:
+			var k int64
+			if k, b, err = consumeVarint(b); err != nil {
+				return resp, err
+			}
+			if k < 0 {
+				return resp, ErrCorrupt
+			}
+			resp.Key = int(k)
+		case OpDelete:
+			// no body
+		case OpStats:
+			if resp.Stats, b, err = consumeStats(b); err != nil {
+				return resp, err
+			}
+		default:
+			return resp, fmt.Errorf("%w: unknown response op %d", ErrCorrupt, byte(resp.Op))
+		}
+	default:
+		return resp, fmt.Errorf("%w: unknown status %d", ErrCorrupt, byte(resp.Status))
+	}
+	if len(b) != 0 {
+		return resp, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	return resp, nil
+}

@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"crackstore/internal/engine"
+	"crackstore/internal/store"
+)
+
+func sampleRequests() []Request {
+	return []Request{
+		{ID: 1, Op: OpQuery, Query: engine.Query{
+			Preds: []engine.AttrPred{
+				{Attr: "A", Pred: store.Range(10, 20)},
+				{Attr: "B", Pred: store.Open(-5, 5)},
+			},
+			Projs: []string{"B", "C"},
+		}},
+		{ID: 1<<63 + 7, Op: OpQueryRO, Query: engine.Query{
+			Preds:       []engine.AttrPred{{Attr: "long attribute name", Pred: store.Point(-42)}},
+			Disjunctive: true,
+		}},
+		{ID: 0, Op: OpQuery, Query: engine.Query{}},
+		{ID: 3, Op: OpInsert, Vals: []store.Value{1, -2, 1 << 60}},
+		{ID: 4, Op: OpInsert},
+		{ID: 5, Op: OpDelete, Key: 123456},
+		{ID: 6, Op: OpStats},
+	}
+}
+
+func sampleResponses() []Response {
+	return []Response{
+		{ID: 1, Op: OpQuery, Status: StatusOK,
+			Result: engine.Result{
+				N: 2,
+				Cols: map[string][]store.Value{
+					"B": {7, 8},
+					"C": {-1, 1 << 40},
+				},
+			},
+			Cost: engine.Cost{Sel: 123 * time.Microsecond, TR: time.Millisecond},
+		},
+		{ID: 2, Op: OpQueryRO, Status: StatusOK,
+			Result: engine.Result{N: 0, Cols: map[string][]store.Value{}}},
+		{ID: 3, Op: OpQueryRO, Status: StatusRefused},
+		{ID: 4, Op: OpQuery, Status: StatusErr, Err: "engine: no such attribute"},
+		{ID: 5, Op: OpInsert, Status: StatusOK, Key: 99},
+		{ID: 6, Op: OpDelete, Status: StatusOK},
+		{ID: 7, Op: OpStats, Status: StatusOK, Stats: Stats{
+			Queries: 1000, Errors: 2, Elapsed: 3 * time.Second, QPS: 12345.678,
+			P50: time.Millisecond, P95: 2 * time.Millisecond,
+			P99: 4 * time.Millisecond, Max: time.Second,
+		}},
+	}
+}
+
+// normalizeResult maps the empty-but-non-nil forms the decoder produces onto
+// the encoder's input so DeepEqual compares semantics, not nil-ness.
+func normalizeReq(r Request) Request {
+	if len(r.Query.Preds) == 0 {
+		r.Query.Preds = nil
+	}
+	if len(r.Query.Projs) == 0 {
+		r.Query.Projs = nil
+	}
+	if len(r.Vals) == 0 {
+		r.Vals = nil
+	}
+	return r
+}
+
+func normalizeResp(r Response) Response {
+	if len(r.Result.Cols) == 0 {
+		r.Result.Cols = nil
+	}
+	for k, v := range r.Result.Cols {
+		if len(v) == 0 {
+			r.Result.Cols[k] = nil
+		}
+	}
+	return r
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range sampleRequests() {
+		frame := AppendRequest(nil, &req)
+		payload, err := ReadFrame(bytes.NewReader(frame), 0)
+		if err != nil {
+			t.Fatalf("%v: ReadFrame: %v", req.Op, err)
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("%v: DecodeRequest: %v", req.Op, err)
+		}
+		if !reflect.DeepEqual(normalizeReq(got), normalizeReq(req)) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", req.Op, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, resp := range sampleResponses() {
+		frame := AppendResponse(nil, &resp)
+		payload, err := ReadFrame(bytes.NewReader(frame), 0)
+		if err != nil {
+			t.Fatalf("%v: ReadFrame: %v", resp.Op, err)
+		}
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("%v: DecodeResponse: %v", resp.Op, err)
+		}
+		if !reflect.DeepEqual(normalizeResp(got), normalizeResp(resp)) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", resp.Op, got, resp)
+		}
+	}
+}
+
+func TestResultEncodingIsCanonical(t *testing.T) {
+	// Two results with identical content must encode identically even
+	// though map iteration order differs between instances.
+	mk := func() engine.Result {
+		return engine.Result{N: 1, Cols: map[string][]store.Value{
+			"z": {1}, "a": {2}, "m": {3}, "q": {4}, "b": {5},
+		}}
+	}
+	a := AppendResponse(nil, &Response{ID: 1, Op: OpQuery, Result: mk()})
+	for i := 0; i < 20; i++ {
+		b := AppendResponse(nil, &Response{ID: 1, Op: OpQuery, Result: mk()})
+		if !bytes.Equal(a, b) {
+			t.Fatal("result encoding depends on map iteration order")
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	frame := AppendFrame(nil, make([]byte, 1024))
+	if _, err := ReadFrame(bytes.NewReader(frame), 512); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// At exactly the cap the frame passes.
+	if _, err := ReadFrame(bytes.NewReader(frame), 1024); err != nil {
+		t.Fatalf("frame at cap rejected: %v", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	req := sampleRequests()[0]
+	frame := AppendRequest(nil, &req)
+	// Clean EOF only at a frame boundary.
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		_, err := ReadFrame(bytes.NewReader(frame[:cut]), 0)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+// TestDecodeTruncatedPayloads feeds every prefix of every valid payload to
+// the decoders: all must error (a strict codec has no valid proper prefix,
+// since trailing bytes are also rejected) and none may panic.
+func TestDecodeTruncatedPayloads(t *testing.T) {
+	for _, req := range sampleRequests() {
+		frame := AppendRequest(nil, &req)
+		payload := frame[4:]
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeRequest(payload[:cut]); err == nil {
+				t.Fatalf("%v: truncated payload (%d/%d bytes) decoded cleanly", req.Op, cut, len(payload))
+			}
+		}
+	}
+	for _, resp := range sampleResponses() {
+		frame := AppendResponse(nil, &resp)
+		payload := frame[4:]
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeResponse(payload[:cut]); err == nil {
+				t.Fatalf("%v: truncated payload (%d/%d bytes) decoded cleanly", resp.Op, cut, len(payload))
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	for _, req := range sampleRequests() {
+		frame := AppendRequest(nil, &req)
+		payload := append(append([]byte(nil), frame[4:]...), 0xEE)
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Fatalf("%v: trailing garbage accepted", req.Op)
+		}
+	}
+}
+
+// TestDecodeAdversarialCounts pins the over-allocation guard: a tiny frame
+// announcing a huge element count must be rejected, not trusted.
+func TestDecodeAdversarialCounts(t *testing.T) {
+	// OpInsert with a claimed 2^40 values in a 12-byte payload.
+	payload := []byte{byte(OpInsert)}
+	payload = appendUvarint(payload, 1)
+	payload = appendUvarint(payload, 1<<40)
+	if _, err := DecodeRequest(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge insert count: want ErrCorrupt, got %v", err)
+	}
+	// Query with a claimed 2^32 predicates.
+	payload = []byte{byte(OpQuery)}
+	payload = appendUvarint(payload, 1)
+	payload = appendUvarint(payload, 1<<32)
+	if _, err := DecodeRequest(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge pred count: want ErrCorrupt, got %v", err)
+	}
+	// Response result with a huge column count.
+	payload = []byte{byte(OpQuery) | respTag}
+	payload = appendUvarint(payload, 1)
+	payload = append(payload, byte(StatusOK))
+	payload = appendUvarint(payload, 3)     // N
+	payload = appendUvarint(payload, 1<<50) // columns
+	if _, err := DecodeResponse(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge column count: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestDecodeRejectsDuplicateColumns(t *testing.T) {
+	payload := []byte{byte(OpQuery) | respTag}
+	payload = appendUvarint(payload, 9)
+	payload = append(payload, byte(StatusOK))
+	payload = appendUvarint(payload, 1) // N
+	payload = appendUvarint(payload, 2) // columns
+	for i := 0; i < 2; i++ {
+		payload = appendString(payload, "B")
+		payload = appendValues(payload, []store.Value{int64(i)})
+	}
+	payload = appendCost(payload, engine.Cost{})
+	if _, err := DecodeResponse(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate column: want ErrCorrupt, got %v", err)
+	}
+}
