@@ -291,9 +291,28 @@ func Serve(e Engine, opts ServeOptions) *Server { return serve.New(e, opts) }
 // queries count in ServeStats.Errors and never leak a worker slot.
 var ErrServeTimeout = serve.ErrTimeout
 
+// ErrServeOverloaded is the distinct error Server.Do returns when
+// ServeOptions.MaxWaiting is set and the backlog is at the watermark: the
+// query was shed without executing. Sheds count in ServeStats.Sheds, not
+// Errors — shedding is the overload defense working, not a failure.
+var ErrServeOverloaded = serve.ErrOverloaded
+
 // DialOptions tunes a remote client: pooled connection count, response
-// frame cap, and dial timeout.
+// frame cap, dial timeout, and the resilience knobs — retry budget and
+// backoff schedule (MaxRetries, RetryBase, RetryMax), hedged reads
+// (Hedge, HedgeAfter), and per-call deadlines (Timeout).
 type DialOptions = client.Options
+
+// ErrRemoteOverloaded is the error a RemoteClient call returns once the
+// server has shed it past the retry budget: the server answered in-band
+// that it is at capacity, and backing off further is the caller's call.
+var ErrRemoteOverloaded = client.ErrOverloaded
+
+// RemoteCounters are a RemoteClient's cumulative resilience counters
+// (retries, hedges, hedge wins, sheds seen, redials) from
+// RemoteClient.Counters — the observability half of the retry layer: a
+// fault-injection run whose counters stay zero exercised nothing.
+type RemoteCounters = client.Counters
 
 // RemoteClient is a connection to a crackserved daemon. It multiplexes any
 // number of concurrent callers over a small pool of TCP connections —

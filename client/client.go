@@ -10,6 +10,21 @@
 // finishes them. Calls are synchronous per goroutine: fire N goroutines to
 // keep N requests in flight.
 //
+// The Client is resilient by default. A connection that dies is evicted
+// from the pool and re-dialed with backoff, so one reset never poisons the
+// pool. Failed calls are retried with jittered exponential backoff when
+// that is provably safe: requests that never reached the wire always,
+// reads/pings/stats always (they are idempotent), and writes because every
+// Insert/Delete carries an idempotency token the server deduplicates — a
+// retried write whose original actually executed gets the recorded
+// response replayed instead of a second application. In-band
+// wire.StatusOverloaded sheds are also retried after backoff. Context-
+// carrying variants (QueryContext, ...) bound each call and propagate the
+// remaining time as a wire TTL hint so the server skips work nobody
+// awaits. Optional hedged reads (Options.Hedge) fire a second QueryRO on
+// another pooled connection once the first exceeds a p99-derived delay and
+// take whichever answers first.
+//
 // The crackstore root package re-exports Dial, so typical use is:
 //
 //	c, err := crackstore.Dial("localhost:9090", crackstore.DialOptions{Conns: 2})
@@ -17,9 +32,12 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +59,26 @@ type Options struct {
 	MaxFrame int
 	// DialTimeout bounds connection establishment; 0 means 5s.
 	DialTimeout time.Duration
+
+	// MaxRetries caps how many times one call is re-attempted after a
+	// retryable failure (conn-level error on an idempotent or tokened
+	// request, or an in-band overload shed). 0 means 4; negative disables
+	// retries entirely.
+	MaxRetries int
+	// RetryBase is the first backoff step (doubled each retry, jittered);
+	// 0 means 2ms.
+	RetryBase time.Duration
+	// RetryMax caps the backoff step; 0 means 250ms.
+	RetryMax time.Duration
+
+	// Hedge enables hedged read-only queries: a QueryRO still unanswered
+	// after the hedge delay fires a duplicate on another pooled connection
+	// and the first answer wins (the loser is abandoned, its late response
+	// dropped). Needs Conns >= 2 to be useful.
+	Hedge bool
+	// HedgeAfter fixes the hedge delay; 0 derives it from the observed p99
+	// of recent successful queries (2ms until enough samples exist).
+	HedgeAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -53,36 +91,76 @@ func (o Options) withDefaults() Options {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
+	switch {
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	case o.MaxRetries == 0:
+		o.MaxRetries = 4
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 2 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
 	return o
 }
 
 // ErrClosed is returned by calls on a closed Client.
 var ErrClosed = errors.New("client: connection is closed")
 
+// ErrOverloaded is returned when the server shed the request
+// (wire.StatusOverloaded) and the retry budget ran out backing off.
+var ErrOverloaded = errors.New("client: server overloaded")
+
 // Stats is the scalar serving-statistics summary a server reports
 // (Client.Stats): query and error counts, throughput, and latency
 // percentiles as measured server-side.
 type Stats = wire.Stats
 
+// Counters are the client-side resilience counters: how often the retry,
+// hedge, shed, and redial machinery actually fired. All monotonically
+// increasing; snapshot with Client.Counters.
+type Counters struct {
+	Retries   uint64 // re-attempts after a retryable failure
+	Hedges    uint64 // hedge requests fired
+	HedgeWins uint64 // hedges whose answer arrived first
+	Sheds     uint64 // StatusOverloaded responses observed
+	Redials   uint64 // pool connections re-established after eviction
+}
+
 // Client is a pooled, multiplexing connection to a remote engine.
 type Client struct {
-	conns  []*conn
-	rr     atomic.Uint64
-	closed atomic.Bool
+	addr  string
+	opts  Options
+	slots []*slot
+	rr    atomic.Uint64
+	// tokens: a random per-client base plus a counter, so concurrent
+	// clients of one server draw from disjoint ranges with overwhelming
+	// probability and the server's dedup window never conflates them.
+	tokBase uint64
+	tokSeq  atomic.Uint64
+	lat     latRing
+	closed  atomic.Bool
+
+	ctrRetries   atomic.Uint64
+	ctrHedges    atomic.Uint64
+	ctrHedgeWins atomic.Uint64
+	ctrSheds     atomic.Uint64
+	ctrRedials   atomic.Uint64
 }
 
 // Dial connects to a crackserved daemon at addr.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
-	c := &Client{conns: make([]*conn, 0, opts.Conns)}
+	c := &Client{addr: addr, opts: opts, tokBase: rand.Uint64() | 1}
 	for i := 0; i < opts.Conns; i++ {
 		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 		}
-		cn := newConn(nc, opts.MaxFrame)
-		c.conns = append(c.conns, cn)
+		c.slots = append(c.slots, &slot{cn: newConn(nc, opts.MaxFrame)})
 	}
 	return c, nil
 }
@@ -92,60 +170,191 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	for _, cn := range c.conns {
-		cn.shutdown(ErrClosed)
+	for _, sl := range c.slots {
+		sl.mu.Lock()
+		if sl.cn != nil {
+			sl.cn.shutdown(ErrClosed)
+			sl.cn = nil
+		}
+		sl.mu.Unlock()
 	}
 	return nil
 }
 
-// call sends one request on a healthy pooled connection and waits for its
-// response. A connection that has failed is skipped; when every connection
-// is down the last failure surfaces.
-func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+// Counters snapshots the resilience counters.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Retries:   c.ctrRetries.Load(),
+		Hedges:    c.ctrHedges.Load(),
+		HedgeWins: c.ctrHedgeWins.Load(),
+		Sheds:     c.ctrSheds.Load(),
+		Redials:   c.ctrRedials.Load(),
+	}
+}
+
+// nextToken mints a fresh nonzero idempotency token.
+func (c *Client) nextToken() uint64 {
+	for {
+		if t := c.tokBase + c.tokSeq.Add(1); t != 0 {
+			return t
+		}
+	}
+}
+
+// retryable classifies a failed attempt: a request that never reached the
+// wire is always safe to resend; one that did is safe exactly when it is
+// idempotent — reads, pings, and stats inherently, writes by virtue of
+// their dedup token.
+func retryable(req *wire.Request, sent bool) bool {
+	if !sent {
+		return true
+	}
+	if req.Op == wire.OpInsert || req.Op == wire.OpDelete {
+		return req.Token != 0
+	}
+	return true
+}
+
+// call runs one request through the retry loop: attempt, classify, back
+// off, re-attempt — up to the retry budget. Context cancellation wins over
+// everything; its remaining time rides along as the request's TTL hint so
+// the server can skip expired work.
+func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	start := c.rr.Add(1)
-	var lastErr error = ErrClosed
-	for i := 0; i < len(c.conns); i++ {
-		cn := c.conns[(start+uint64(i))%uint64(len(c.conns))]
-		resp, sent, err := cn.call(req)
-		if err == nil {
-			return resp, nil
-		}
-		if sent {
-			// The request reached the wire: it may have executed
-			// server-side, so failing over to another connection could
-			// run it twice (fatal for Insert). The failure is final.
+	backoff := c.opts.RetryBase
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			ttl := time.Until(dl)
+			if ttl <= 0 {
+				return nil, context.DeadlineExceeded
+			}
+			req.TTL = ttl
+		}
+		resp, sent, err := c.once(ctx, req)
+		switch {
+		case err == nil && resp.Status == wire.StatusOverloaded:
+			// An in-band shed: the server refused before executing, so a
+			// backed-off retry is always safe.
+			c.ctrSheds.Add(1)
+			lastErr = ErrOverloaded
+		case err == nil:
+			return resp, nil
+		default:
+			if c.closed.Load() {
+				return nil, ErrClosed
+			}
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			if !retryable(req, sent) {
+				return nil, err
+			}
+			lastErr = err
+		}
+		if attempt >= c.opts.MaxRetries {
+			return nil, lastErr
+		}
+		c.ctrRetries.Add(1)
+		// Jittered exponential backoff: uniform in [backoff/2, backoff),
+		// so a burst of failing callers decorrelates instead of
+		// re-stampeding the server in lockstep.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > c.opts.RetryMax {
+			backoff = c.opts.RetryMax
+		}
+	}
+}
+
+// once makes a single attempt: pick a healthy pooled connection (skipping
+// and redialing dead slots), send, wait. sent reports whether any attempt
+// handed bytes to a socket.
+func (c *Client) once(ctx context.Context, req *wire.Request) (*wire.Response, bool, error) {
+	start := c.rr.Add(1)
+	n := uint64(len(c.slots))
+	var lastErr error = ErrClosed
+	for i := uint64(0); i < n; i++ {
+		sl := c.slots[(start+i)%n]
+		cn, err := sl.get(c)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, sent, err := cn.call(ctx, req)
+		if err == nil {
+			return resp, true, nil
+		}
+		if ctx.Err() != nil {
+			return nil, sent, err
+		}
+		sl.evict(cn)
+		if sent {
+			// The request reached the wire: whether to re-send is the
+			// retry loop's (idempotency-aware) decision, not the pool's.
+			return nil, true, err
 		}
 		lastErr = err // never sent: another pooled connection may be healthy
 	}
-	return nil, lastErr
+	return nil, false, lastErr
 }
 
 // Query executes q remotely, exactly as Engine.Query would in-process: it
 // may reorganize (crack) server-side structures.
 func (c *Client) Query(q engine.Query) (engine.Result, engine.Cost, error) {
-	resp, err := c.call(&wire.Request{Op: wire.OpQuery, Query: q})
+	return c.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query bounded by ctx: cancellation or deadline expiry
+// abandons the call, and the remaining time is sent as a TTL hint the
+// server uses to skip already-expired work.
+func (c *Client) QueryContext(ctx context.Context, q engine.Query) (engine.Result, engine.Cost, error) {
+	t0 := time.Now()
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpQuery, Query: q})
 	if err != nil {
 		return engine.Result{}, engine.Cost{}, err
 	}
 	if resp.Status != wire.StatusOK {
 		return engine.Result{}, engine.Cost{}, remoteErr(resp)
 	}
+	c.lat.record(time.Since(t0))
 	return resp.Result, resp.Cost, nil
 }
 
 // QueryRO executes q remotely only if the server can answer it without
 // reorganizing; ok reports whether it could (Engine.QueryRO semantics).
 func (c *Client) QueryRO(q engine.Query) (engine.Result, engine.Cost, bool, error) {
-	resp, err := c.call(&wire.Request{Op: wire.OpQueryRO, Query: q})
+	return c.QueryROContext(context.Background(), q)
+}
+
+// QueryROContext is QueryRO bounded by ctx. With Options.Hedge and a pool
+// of at least two connections, a straggling call fires a duplicate on
+// another connection after the hedge delay and the first answer wins —
+// safe precisely because a read-only query by definition changes nothing.
+func (c *Client) QueryROContext(ctx context.Context, q engine.Query) (engine.Result, engine.Cost, bool, error) {
+	t0 := time.Now()
+	var resp *wire.Response
+	var err error
+	if c.opts.Hedge && len(c.slots) > 1 {
+		resp, err = c.hedged(ctx, q)
+	} else {
+		resp, err = c.call(ctx, &wire.Request{Op: wire.OpQueryRO, Query: q})
+	}
 	if err != nil {
 		return engine.Result{}, engine.Cost{}, false, err
 	}
 	switch resp.Status {
 	case wire.StatusOK:
+		c.lat.record(time.Since(t0))
 		return resp.Result, resp.Cost, true, nil
 	case wire.StatusRefused:
 		return engine.Result{}, engine.Cost{}, false, nil
@@ -153,10 +362,88 @@ func (c *Client) QueryRO(q engine.Query) (engine.Result, engine.Cost, bool, erro
 	return engine.Result{}, engine.Cost{}, false, remoteErr(resp)
 }
 
+// hedged races a primary QueryRO against a delayed duplicate. The loser is
+// canceled through its context: its pending entry is tombstoned so the
+// late answer is dropped, never treated as a protocol violation.
+func (c *Client) hedged(ctx context.Context, q engine.Query) (*wire.Response, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap the loser
+	type hres struct {
+		resp  *wire.Response
+		err   error
+		hedge bool
+	}
+	out := make(chan hres, 2) // buffered: the loser must never block
+	launch := func(hedge bool) {
+		go func() {
+			resp, err := c.call(hctx, &wire.Request{Op: wire.OpQueryRO, Query: q})
+			out <- hres{resp, err, hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	launched := 1
+	for {
+		select {
+		case r := <-out:
+			if r.err == nil {
+				if r.hedge {
+					c.ctrHedgeWins.Add(1)
+				}
+				return r.resp, nil
+			}
+			if launched == 2 {
+				// One attempt failed; the other decides.
+				r2 := <-out
+				if r2.err == nil {
+					if r2.hedge {
+						c.ctrHedgeWins.Add(1)
+					}
+					return r2.resp, nil
+				}
+				if !r.hedge {
+					return nil, r.err // prefer the primary's error
+				}
+				return nil, r2.err
+			}
+			return nil, r.err // primary failed before the hedge fired
+		case <-timer.C:
+			if launched == 1 {
+				c.ctrHedges.Add(1)
+				launch(true)
+				launched = 2
+			}
+		}
+	}
+}
+
+// hedgeDelay is the straggler threshold: Options.HedgeAfter when fixed,
+// otherwise the p99 of recent successful queries — hedging the slowest 1%
+// costs ~1% extra load for a tail-latency cut, the classic trade.
+func (c *Client) hedgeDelay() time.Duration {
+	if c.opts.HedgeAfter > 0 {
+		return c.opts.HedgeAfter
+	}
+	if d := c.lat.p99(); d > 0 {
+		if d < 500*time.Microsecond {
+			d = 500 * time.Microsecond
+		}
+		return d
+	}
+	return 2 * time.Millisecond
+}
+
 // Insert appends one tuple (relation attribute order) and returns its
-// global key, matching Engine.Insert.
+// global key, matching Engine.Insert. The request carries an idempotency
+// token, so a retry after a lost response cannot apply the write twice.
 func (c *Client) Insert(vals ...store.Value) (int, error) {
-	resp, err := c.call(&wire.Request{Op: wire.OpInsert, Vals: vals})
+	return c.InsertContext(context.Background(), vals...)
+}
+
+// InsertContext is Insert bounded by ctx.
+func (c *Client) InsertContext(ctx context.Context, vals ...store.Value) (int, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpInsert, Token: c.nextToken(), Vals: vals})
 	if err != nil {
 		return 0, err
 	}
@@ -167,9 +454,14 @@ func (c *Client) Insert(vals ...store.Value) (int, error) {
 }
 
 // Delete removes the tuple with the given global key, matching
-// Engine.Delete.
+// Engine.Delete. Tokened and retried exactly like Insert.
 func (c *Client) Delete(key int) error {
-	resp, err := c.call(&wire.Request{Op: wire.OpDelete, Key: key})
+	return c.DeleteContext(context.Background(), key)
+}
+
+// DeleteContext is Delete bounded by ctx.
+func (c *Client) DeleteContext(ctx context.Context, key int) error {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpDelete, Token: c.nextToken(), Key: key})
 	if err != nil {
 		return err
 	}
@@ -181,7 +473,12 @@ func (c *Client) Delete(key int) error {
 
 // Stats snapshots the server's serving-layer statistics.
 func (c *Client) Stats() (wire.Stats, error) {
-	resp, err := c.call(&wire.Request{Op: wire.OpStats})
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats bounded by ctx.
+func (c *Client) StatsContext(ctx context.Context) (wire.Stats, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpStats})
 	if err != nil {
 		return wire.Stats{}, err
 	}
@@ -191,11 +488,128 @@ func (c *Client) Stats() (wire.Stats, error) {
 	return resp.Stats, nil
 }
 
+// Ping round-trips a health probe: a nil return proves the peer is alive
+// and answering right now — the fast peer-death check, cheap enough to
+// run ahead of a critical call instead of discovering death by timeout.
+func (c *Client) Ping() error {
+	return c.PingContext(context.Background())
+}
+
+// PingContext is Ping bounded by ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
 func remoteErr(resp *wire.Response) error {
 	if resp.Status == wire.StatusRefused {
 		return fmt.Errorf("client: %v refused (would reorganize)", resp.Op)
 	}
 	return fmt.Errorf("client: remote %v failed: %s", resp.Op, resp.Err)
+}
+
+// ---------------------------------------------------------------------------
+// Pool slots.
+
+// slot is one pool position: a live connection, or a vacancy being
+// re-dialed with backoff. Eviction is per-connection — one dead conn never
+// poisons the rest of the pool.
+type slot struct {
+	mu      sync.Mutex
+	cn      *conn
+	fails   int       // consecutive dial failures, drives the backoff
+	next    time.Time // earliest next dial attempt
+	lastErr error
+}
+
+// get returns the slot's live connection, dialing a fresh one if the slot
+// is vacant and its backoff window has passed.
+func (s *slot) get(c *Client) (*conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cn != nil {
+		if s.cn.healthy() {
+			return s.cn, nil
+		}
+		s.cn = nil
+	}
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	now := time.Now()
+	if now.Before(s.next) {
+		if s.lastErr != nil {
+			return nil, s.lastErr
+		}
+		return nil, errors.New("client: connection backoff")
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		s.fails++
+		// 10ms, 20ms, ... capped at 2s: a downed server is probed promptly
+		// at first, gently while it stays down.
+		d := 10 * time.Millisecond << uint(s.fails-1)
+		if d > 2*time.Second {
+			d = 2 * time.Second
+		}
+		s.next = now.Add(d)
+		s.lastErr = fmt.Errorf("client: redial %s: %w", c.addr, err)
+		return nil, s.lastErr
+	}
+	s.fails = 0
+	s.lastErr = nil
+	s.cn = newConn(nc, c.opts.MaxFrame)
+	c.ctrRedials.Add(1)
+	return s.cn, nil
+}
+
+// evict drops a dead connection from its slot (the next get re-dials
+// immediately; dial backoff only applies to failed dials).
+func (s *slot) evict(cn *conn) {
+	s.mu.Lock()
+	if s.cn == cn {
+		s.cn = nil
+	}
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Hedge-delay latency ring.
+
+// latRing keeps the last N successful query latencies for the p99-derived
+// hedge delay. Lock-free: slots are atomically stored nanosecond counts.
+type latRing struct {
+	n       atomic.Uint64
+	samples [256]atomic.Int64
+}
+
+func (l *latRing) record(d time.Duration) {
+	i := l.n.Add(1) - 1
+	l.samples[i%uint64(len(l.samples))].Store(int64(d))
+}
+
+// p99 returns the 99th percentile of the retained samples, or 0 until at
+// least 32 samples exist (too few to call anything a tail).
+func (l *latRing) p99() time.Duration {
+	n := l.n.Load()
+	if n < 32 {
+		return 0
+	}
+	if n > uint64(len(l.samples)) {
+		n = uint64(len(l.samples))
+	}
+	lats := make([]int64, n)
+	for i := range lats {
+		lats[i] = l.samples[i].Load()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return time.Duration(lats[(len(lats)*99)/100])
 }
 
 // ---------------------------------------------------------------------------
@@ -214,8 +628,11 @@ type conn struct {
 	sendq chan *outFrame // encoded request frames, callers -> writer
 	dead  chan struct{}  // closed by shutdown; unblocks writer and senders
 
-	mu      sync.Mutex
-	nextID  uint64
+	mu     sync.Mutex
+	nextID uint64
+	// pending maps request ID -> waiter. A nil channel is a tombstone: the
+	// caller abandoned the request (context cancellation, hedge loss) and
+	// the eventual response must be dropped, not treated as unknown.
 	pending map[uint64]chan result
 	err     error // sticky: set once the connection is unusable
 }
@@ -233,8 +650,7 @@ type outFrame struct {
 // outFramePool recycles request frames. A frame is returned only after its
 // call received a successful response — which proves the writer finished
 // with the buffer — so steady-state calls allocate no fresh frame. Frames
-// of failed calls are dropped: on a dying connection the writer may still
-// hold them.
+// of failed or abandoned calls are dropped: the writer may still hold them.
 var outFramePool = sync.Pool{
 	New: func() any { return new(outFrame) },
 }
@@ -252,21 +668,29 @@ func newConn(nc net.Conn, maxFrame int) *conn {
 	return cn
 }
 
+// healthy reports whether the connection is still usable.
+func (cn *conn) healthy() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.err == nil
+}
+
 // resultChPool recycles per-call waiter channels. Every registered channel
-// receives exactly one send (a routed response or the shutdown error —
-// pending-map removal makes the two mutually exclusive), so a channel is
-// provably empty again after the receive and safe to reuse.
+// sees at most one send (a routed response or the shutdown error —
+// pending-map removal makes the two mutually exclusive) and every return
+// path below either consumed that send or proved it can never happen
+// (forget), so a pooled channel is always empty.
 var resultChPool = sync.Pool{
 	New: func() any { return make(chan result, 1) },
 }
 
 // call registers a waiter, enqueues the request frame, and blocks for the
-// matched response. Many goroutines may be inside call on the same
-// connection at once — that is the pipelining; the writer goroutine
-// coalesces their frames into few syscalls. sent reports whether the
-// writer handed any of the request to the socket: a failure with
+// matched response or context expiry. Many goroutines may be inside call
+// on the same connection at once — that is the pipelining; the writer
+// goroutine coalesces their frames into few syscalls. sent reports whether
+// the writer handed any of the request to the socket: a failure with
 // sent == false is safe to retry on another connection.
-func (cn *conn) call(req *wire.Request) (resp *wire.Response, sent bool, err error) {
+func (cn *conn) call(ctx context.Context, req *wire.Request) (resp *wire.Response, sent bool, err error) {
 	ch := resultChPool.Get().(chan result)
 	defer resultChPool.Put(ch)
 	cn.mu.Lock()
@@ -294,9 +718,22 @@ func (cn *conn) call(req *wire.Request) (resp *wire.Response, sent bool, err err
 		select {
 		case cn.sendq <- f:
 		case <-cn.dead:
+		case <-ctx.Done():
+			// Never enqueued; the forget below cleanly unregisters.
 		}
 	}
-	res := <-ch
+	var res result
+	select {
+	case res = <-ch:
+	case <-ctx.Done():
+		if cn.forget(id) {
+			// Tombstoned: no response will ever be delivered to ch.
+			return nil, f.wrote.Load(), ctx.Err()
+		}
+		// The response (or shutdown) raced our cancellation; its send is
+		// already in flight to the buffered channel.
+		res = <-ch
+	}
 	sent = f.wrote.Load()
 	if res.err == nil {
 		// A response arrived, so the frame was fully written long ago;
@@ -304,6 +741,21 @@ func (cn *conn) call(req *wire.Request) (resp *wire.Response, sent bool, err err
 		outFramePool.Put(f)
 	}
 	return res.resp, sent, res.err
+}
+
+// forget tombstones a pending request whose caller gave up, so the reader
+// drops the eventual late response instead of killing the connection over
+// it. Reports whether the request was still pending — true guarantees no
+// send to the waiter channel will ever happen.
+func (cn *conn) forget(id uint64) bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	ch, ok := cn.pending[id]
+	if !ok || ch == nil {
+		return false
+	}
+	cn.pending[id] = nil
+	return true
 }
 
 // writeLoop batches queued request frames onto the socket: one write per
@@ -362,6 +814,9 @@ func (cn *conn) readLoop() {
 			cn.shutdown(fmt.Errorf("client: protocol: response for unknown request %d", resp.ID))
 			return
 		}
+		if ch == nil {
+			continue // abandoned request (hedge loser / canceled ctx): drop
+		}
 		r := resp
 		ch <- result{resp: &r}
 	}
@@ -382,6 +837,8 @@ func (cn *conn) shutdown(err error) {
 	close(cn.dead) // stops the writer; unblocks senders
 	cn.nc.Close()  // unblocks the reader, which re-enters shutdown harmlessly
 	for _, ch := range waiters {
-		ch <- result{err: err}
+		if ch != nil { // skip tombstones: nobody is waiting
+			ch <- result{err: err}
+		}
 	}
 }

@@ -1,13 +1,17 @@
 package client
 
 import (
+	"bufio"
+	"context"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"crackstore/internal/engine"
 	"crackstore/internal/store"
+	"crackstore/internal/wire"
 )
 
 func TestDialFailure(t *testing.T) {
@@ -54,47 +58,289 @@ func TestCallsAfterClose(t *testing.T) {
 	c.Close() // idempotent
 }
 
-func TestPeerDisconnectFailsPendingAndFutureCalls(t *testing.T) {
+// miniServer is a minimal in-test wire peer: it answers every decodable
+// request with a canned StatusOK response, so client-side pool and retry
+// machinery can be exercised with full control over connection lifetimes.
+type miniServer struct {
+	t  *testing.T
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func startMiniServer(t *testing.T) *miniServer {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	accepted := make(chan net.Conn, 1)
+	m := &miniServer{t: t, ln: ln}
 	go func() {
-		c, err := ln.Accept()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			m.mu.Lock()
+			m.conns = append(m.conns, nc)
+			m.mu.Unlock()
+			go m.serve(nc)
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		m.closeAll()
+	})
+	return m
+}
+
+func (m *miniServer) serve(nc net.Conn) {
+	br := bufio.NewReader(nc)
+	for {
+		payload, err := wire.ReadFrame(br, 0)
 		if err != nil {
+			nc.Close()
 			return
 		}
-		accepted <- c
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			nc.Close()
+			return
+		}
+		resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+		switch req.Op {
+		case wire.OpQuery, wire.OpQueryRO:
+			resp.Result = engine.Result{N: 1, Cols: map[string][]store.Value{"B": {42}}}
+		case wire.OpInsert:
+			resp.Key = 7
+		}
+		if _, err := nc.Write(wire.AppendResponse(nil, &resp)); err != nil {
+			nc.Close()
+			return
+		}
+	}
+}
+
+// closeAll severs every accepted connection (peer death, client view).
+func (m *miniServer) closeAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, nc := range m.conns {
+		nc.Close()
+	}
+	m.conns = nil
+}
+
+var testQuery = engine.Query{
+	Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(1, 2)}},
+}
+
+// TestPeerDeathRetriesAndRedials: a peer that dies mid-call no longer
+// fails the pool permanently — the idempotent call is retried over a
+// redialed connection and succeeds, and the counters show the machinery
+// fired.
+func TestPeerDeathRetriesAndRedials(t *testing.T) {
+	m := startMiniServer(t)
+	c, err := Dial(m.ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Query(testQuery); err != nil {
+		t.Fatalf("warm-up query: %v", err)
+	}
+	m.closeAll() // peer dies between calls; next call hits a dead conn
+
+	if _, _, err := c.Query(testQuery); err != nil {
+		t.Fatalf("query after peer death failed despite retries: %v", err)
+	}
+	ctr := c.Counters()
+	if ctr.Redials == 0 {
+		t.Fatalf("no redial recorded after peer death: %+v", ctr)
+	}
+}
+
+// TestOneConnResetDoesNotPoisonPool: with a pool of two, killing every
+// current connection must not fail future calls — each slot evicts its
+// dead conn and redials independently.
+func TestOneConnResetDoesNotPoisonPool(t *testing.T) {
+	m := startMiniServer(t)
+	c, err := Dial(m.ln.Addr().String(), Options{Conns: 2})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Query(testQuery); err != nil {
+			t.Fatalf("warm-up query %d: %v", i, err)
+		}
+	}
+	m.closeAll()
+	// Every subsequent call must succeed; round-robin touches both slots.
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.Query(testQuery); err != nil {
+			t.Fatalf("query %d after conn resets: %v", i, err)
+		}
+	}
+	if ctr := c.Counters(); ctr.Redials < 1 {
+		t.Fatalf("expected redials after resets, got %+v", ctr)
+	}
+}
+
+// TestRetryDisabledFailsFast: with MaxRetries < 0 the old fail-fast
+// behavior is preserved for the in-flight call — but a later call still
+// succeeds, because the pool itself always heals by redialing.
+func TestRetryDisabledFailsFast(t *testing.T) {
+	m := startMiniServer(t)
+	c, err := Dial(m.ln.Addr().String(), Options{MaxRetries: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Query(testQuery); err != nil {
+		t.Fatalf("warm-up query: %v", err)
+	}
+	m.closeAll()
+	if _, _, err := c.Query(testQuery); err == nil {
+		t.Fatal("retry-disabled call on dead conn succeeded")
+	}
+	// The dead conn was evicted; the pool heals for the next call.
+	if _, _, err := c.Query(testQuery); err != nil {
+		t.Fatalf("pool did not heal after fail-fast error: %v", err)
+	}
+	if ctr := c.Counters(); ctr.Retries != 0 {
+		t.Fatalf("retries fired despite MaxRetries=-1: %+v", ctr)
+	}
+}
+
+// slowServer answers every query after a fixed delay; stallFirstRO makes
+// the first accepted connection swallow QueryRO requests entirely.
+func slowServer(t *testing.T, delay time.Duration, stallFirstRO bool) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	acceptN := 0
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			acceptN++
+			stall := stallFirstRO && acceptN == 1
+			mu.Unlock()
+			go func() {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				for {
+					payload, err := wire.ReadFrame(br, 0)
+					if err != nil {
+						return
+					}
+					req, err := wire.DecodeRequest(payload)
+					if err != nil {
+						return
+					}
+					if stall && req.Op == wire.OpQueryRO {
+						continue // swallow: the hedge must rescue the call
+					}
+					if delay > 0 {
+						time.Sleep(delay)
+					}
+					resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK,
+						Result: engine.Result{N: 1, Cols: map[string][]store.Value{"B": {1}}}}
+					if _, err := nc.Write(wire.AppendResponse(nil, &resp)); err != nil {
+						return
+					}
+				}
+			}()
+		}
 	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestContextCancellationAbandonsCall: a canceled context unblocks the
+// caller immediately, and the late response for the abandoned request is
+// dropped without killing the connection.
+func TestContextCancellationAbandonsCall(t *testing.T) {
+	ln := slowServer(t, 100*time.Millisecond, false)
 	c, err := Dial(ln.Addr().String(), Options{})
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer c.Close()
-	peer := <-accepted
 
-	// A call in flight when the peer hangs up must fail, not hang.
-	done := make(chan error, 1)
-	go func() {
-		_, _, err := c.Query(engine.Query{
-			Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(1, 2)}},
-		})
-		done <- err
-	}()
-	time.Sleep(50 * time.Millisecond) // let the request reach the wire
-	peer.Close()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("in-flight call survived peer disconnect")
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("in-flight call hung after peer disconnect")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, _, err = c.QueryContext(ctx, testQuery)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled call returned %v, want DeadlineExceeded", err)
 	}
-	// And later calls fail fast on the dead pool.
-	if _, err := c.Insert(1, 2); err == nil {
-		t.Fatal("call on dead pool succeeded")
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", d)
+	}
+	// The straggling response for the abandoned ID must not poison the
+	// conn: the next (uncanceled) call on the same connection succeeds.
+	if _, _, err := c.Query(testQuery); err != nil {
+		t.Fatalf("call after abandoned request failed: %v", err)
+	}
+}
+
+// TestHedgedReadWins: with hedging on and one conn's read-only answers
+// swallowed, the hedge fires on the other conn and every call completes.
+func TestHedgedReadWins(t *testing.T) {
+	ln := slowServer(t, 0, true)
+	c, err := Dial(ln.Addr().String(), Options{Conns: 2, Hedge: true, HedgeAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			if _, _, ok, err := c.QueryRO(testQuery); err != nil || !ok {
+				t.Errorf("hedged QueryRO %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hedged reads hung — hedge did not rescue the stalled conn")
+	}
+	if ctr := c.Counters(); ctr.Hedges == 0 {
+		t.Fatalf("no hedge fired against a stalled conn: %+v", ctr)
+	}
+}
+
+// TestPing: the health probe round-trips against a live peer and fails
+// promptly against a dead one.
+func TestPing(t *testing.T) {
+	m := startMiniServer(t)
+	c, err := Dial(m.ln.Addr().String(), Options{MaxRetries: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping against live server: %v", err)
+	}
+	m.ln.Close()
+	m.closeAll()
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping against dead server succeeded")
 	}
 }

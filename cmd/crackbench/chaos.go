@@ -1,0 +1,394 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crackstore/client"
+	"crackstore/internal/engine"
+	"crackstore/internal/exp"
+	"crackstore/internal/faultnet"
+	"crackstore/internal/netserve"
+	"crackstore/internal/serve"
+)
+
+// chaosConfig drives the -chaos mode: the warm serving workload fired at an
+// in-process daemon THROUGH a fault-injecting proxy, swept across fault
+// rates with retries on and off, plus an overload segment that pushes 2x
+// the admission capacity to show the server shedding in-band instead of
+// stalling. The artifact is bench/BENCH_chaos_resilience.json.
+type chaosConfig struct {
+	Clients   int
+	Conns     int
+	Rows      int
+	Queries   int // per segment
+	Pool      int
+	Sel       float64
+	Seed      int64
+	FaultSeed int64
+	JSONDir   string
+}
+
+func (c chaosConfig) withDefaults() chaosConfig {
+	base := concurrentConfig{Rows: c.Rows, Pool: c.Pool, Sel: c.Sel}.withDefaults()
+	c.Rows, c.Pool, c.Sel = base.Rows, base.Pool, base.Sel
+	if c.Sel <= 0.0002 {
+		// Chaos runs need queries whose execution cost dominates the
+		// per-fault recovery cost (a redial plus a sub-millisecond backoff),
+		// or the recovery ratio measures the retry schedule rather than the
+		// resilience layer; 2% selectivity gives ~4k-row answers.
+		c.Sel = 0.02
+	}
+	if c.Queries <= 0 {
+		c.Queries = 8000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = 7
+	}
+	if c.JSONDir == "" {
+		c.JSONDir = "bench"
+	}
+	return c
+}
+
+// chaosSegment is one measured pass through the fault proxy.
+type chaosSegment struct {
+	name    string
+	rate    float64
+	retries bool
+	hedge   bool
+	// retryBase/retryMax override the client backoff schedule; zero means
+	// the aggressive fault-recovery defaults. The overload segment sets a
+	// base near the service time so retries land after a slot has actually
+	// drained rather than hammering a still-full server, and a deeper
+	// retry budget (maxRetries > 0 overrides the client default) because
+	// sustained overload sheds the same query repeatedly by design.
+	retryBase, retryMax time.Duration
+	maxRetries          int
+}
+
+// runChaosSegment fires the warm pool through a fresh proxy at the
+// segment's fault rate and returns the series with latencies, errors, and
+// the client resilience counters.
+func (c chaosConfig) runChaosSegment(seg chaosSegment, target string, pool []engine.Query) (exp.Series, serve.Stats) {
+	px, err := faultnet.NewProxy("127.0.0.1:0", target, faultnet.Mix(seg.rate, c.FaultSeed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: chaos proxy: %v\n", err)
+		os.Exit(1)
+	}
+	defer px.Close()
+
+	// An aggressive retry schedule by default: recovery from a killed
+	// connection is a redial plus a couple hundred microseconds, not
+	// milliseconds.
+	if seg.retryBase == 0 {
+		seg.retryBase = 100 * time.Microsecond
+	}
+	if seg.retryMax == 0 {
+		seg.retryMax = 5 * time.Millisecond
+	}
+	copts := client.Options{
+		Conns: c.Conns, Hedge: seg.hedge,
+		RetryBase: seg.retryBase, RetryMax: seg.retryMax,
+	}
+	if !seg.retries {
+		copts.MaxRetries = -1
+	} else if seg.maxRetries > 0 {
+		copts.MaxRetries = seg.maxRetries
+	}
+	cl, err := client.Dial(px.Addr().String(), copts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: chaos dial: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	perClient := c.Queries / c.Clients
+	latCh := make(chan []time.Duration, c.Clients)
+	var errs atomic.Int64
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < c.Clients; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lats := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				q := pool[rng.Intn(len(pool))]
+				qt0 := time.Now()
+				var err error
+				if seg.hedge {
+					// The warm pool is crack-free, so read-only queries are
+					// never refused — the hedged path answers all of them.
+					var ok bool
+					if _, _, ok, err = cl.QueryRO(q); err == nil && !ok {
+						err = fmt.Errorf("warm query refused as read-only")
+					}
+				} else {
+					_, _, err = cl.Query(q)
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(qt0))
+			}
+			latCh <- lats
+		}(c.Seed + 100 + int64(g))
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(latCh)
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+
+	st := serve.Summarize(all, int(errs.Load()), elapsed)
+	ctr := cl.Counters()
+	fmt.Printf("%-26s %8d ok  %5d errors  %9.0f q/s  p50=%-8s p99=%-8s retries=%-5d hedges=%-5d sheds=%-5d redials=%d\n",
+		seg.name, st.Queries, st.Errors, st.QPS, st.P50, st.P99,
+		ctr.Retries, ctr.Hedges, ctr.Sheds, ctr.Redials)
+	return exp.Series{
+		Name: seg.name, Y: all, Errors: int(errs.Load()),
+		Transport: "tcp+faultproxy", Conns: c.Conns,
+		FaultRate: seg.rate,
+		Retries:   int(ctr.Retries), Hedges: int(ctr.Hedges),
+		Sheds: int(ctr.Sheds), Redials: int(ctr.Redials),
+	}, st
+}
+
+// slowEngine adds a fixed blocking service time to every query: the model
+// of an overloaded remote server whose queries wait on I/O or an
+// oversubscribed CPU. The overload segment needs service time the
+// scheduler can observe — a purely CPU-bound query on a single-P runtime
+// starves the connection readers, so the server never even decodes the
+// backlog the watermark is supposed to shed. With a blocking service time
+// the readers keep decoding while a query is "executing", the worker
+// semaphore backs up, and admission control has something to measure.
+type slowEngine struct {
+	engine.Engine
+	delay time.Duration
+}
+
+func (s slowEngine) Query(q engine.Query) (engine.Result, engine.Cost) {
+	time.Sleep(s.delay)
+	return s.Engine.Query(q)
+}
+
+func (s slowEngine) QueryRO(q engine.Query) (engine.Result, engine.Cost, bool) {
+	time.Sleep(s.delay)
+	return s.Engine.QueryRO(q)
+}
+
+// runOverloadSegment drives 2x the server's admission capacity at a
+// deliberately tiny server (1 worker, 1-deep admission queue) and shows the
+// watermark shedding in-band: every query still completes (retries absorb
+// the sheds), sheds are counted, and the tail stays bounded instead of the
+// whole pipeline stalling.
+func (c chaosConfig) runOverloadSegment(pool []engine.Query) exp.Series {
+	rel := concurrentConfig{Rows: c.Rows, Seed: c.Seed}.buildRelation()
+	// A scan engine (no read-only fast path, so every query takes the
+	// admission path instead of answering inline on the reader) slowed to
+	// a 2ms blocking service time per query.
+	e := slowEngine{Engine: engine.New(engine.Scan, rel), delay: 2 * time.Millisecond}
+	srv, err := netserve.Listen("127.0.0.1:0", e, netserve.Options{
+		Serve: serve.Options{Workers: 1, MaxWaiting: 1},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: overload server: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	// Admission capacity is Workers + MaxWaiting = 2; drive 2x that in
+	// concurrent clients.
+	over := c
+	over.Clients = 4
+	over.Queries = c.Queries / 16
+	s, _ := over.runChaosSegment(chaosSegment{
+		name: "overload 2x capacity", rate: 0, retries: true,
+		retryBase: 2 * time.Millisecond, retryMax: 50 * time.Millisecond,
+		maxRetries: 10,
+	}, srv.Addr().String(), pool)
+	if st := srv.Stats(); st.Sheds == 0 {
+		fmt.Println("warning: overload segment recorded no sheds — capacity was never exceeded")
+	} else if s.Errors == 0 {
+		fmt.Printf("overload segment: server shed %d requests in-band; retries absorbed every shed\n", st.Sheds)
+	} else {
+		// Residual errors are the retry budget running out under sustained
+		// overload — the bounded alternative to retrying forever.
+		fmt.Printf("overload segment: server shed %d requests in-band; %d queries exhausted their retry budget\n",
+			st.Sheds, s.Errors)
+	}
+	return s
+}
+
+// runChaosBench is the -chaos entry point (without -remote): measure the
+// resilience layer end to end against injected faults and overload, and
+// land the numbers as bench/BENCH_chaos_resilience.json.
+func runChaosBench(c chaosConfig) {
+	c = c.withDefaults()
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+	fmt.Printf("== chaos resilience: %d clients over %d conns, %d rows, %d queries/segment, fault seed %d ==\n",
+		c.Clients, c.Conns, c.Rows, c.Queries, c.FaultSeed)
+
+	base := concurrentConfig{Rows: c.Rows, Seed: c.Seed, Pool: c.Pool, Sel: c.Sel}.withDefaults()
+	e := engine.Concurrent(engine.New(engine.Sideways, base.buildRelation()))
+	pool := base.queryPool()
+	for _, q := range pool {
+		e.Query(q)
+	}
+	srv, err := netserve.Listen("127.0.0.1:0", e, netserve.Options{
+		Serve: serve.Options{Workers: c.Clients},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: chaos server: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	runtime.GC()
+
+	segments := []chaosSegment{
+		{name: "0% faults, retries on", rate: 0, retries: true},
+		{name: "1% faults, retries on", rate: 0.01, retries: true},
+		{name: "5% faults, retries on", rate: 0.05, retries: true},
+		{name: "1% faults, retries off", rate: 0.01, retries: false},
+		{name: "5% faults, retries off", rate: 0.05, retries: false},
+		{name: "5% faults, retries+hedge", rate: 0.05, retries: true, hedge: true},
+	}
+	series := make([]exp.Series, 0, len(segments)+1)
+	qps := make([]float64, len(segments))
+	for i, seg := range segments {
+		s, st := c.runChaosSegment(seg, srv.Addr().String(), pool)
+		series = append(series, s)
+		qps[i] = st.QPS
+	}
+	series = append(series, c.runOverloadSegment(pool))
+
+	if c.JSONDir != "" {
+		title := fmt.Sprintf("Chaos resilience, %d clients over %d conns (%d rows, warm sideways workload): fault sweep with retries on/off plus 2x-capacity overload",
+			c.Clients, c.Conns, c.Rows)
+		meta := map[string]string{
+			"rows":       fmt.Sprint(c.Rows),
+			"queries":    fmt.Sprint(c.Queries),
+			"clients":    fmt.Sprint(c.Clients),
+			"conns":      fmt.Sprint(c.Conns),
+			"seed":       fmt.Sprint(c.Seed),
+			"fault_seed": fmt.Sprint(c.FaultSeed),
+			"overload":   "4 clients vs admission capacity 2 (1 worker + 1 waiting)",
+		}
+		if err := exp.WriteSeriesJSONMeta(c.JSONDir, "chaos_resilience",
+			title, "query (completion order)", meta, series); err != nil {
+			fmt.Printf("json export failed: %v\n", err)
+		}
+	}
+
+	// Headline number: how much of the fault-free throughput survives 1%
+	// faults with retries on.
+	if qps[0] > 0 && qps[1] > 0 {
+		fmt.Printf("throughput recovery at 1%% faults (retries on): %.0f%% of fault-free QPS\n",
+			100*qps[1]/qps[0])
+	}
+	for _, s := range series {
+		if s.FaultRate > 0 && s.Retries == 0 && s.Redials == 0 && s.Errors == 0 {
+			fmt.Printf("warning: segment %q hit no faults — rates too low for this run length\n", s.Name)
+		}
+	}
+}
+
+func sum(d []time.Duration) time.Duration {
+	var t time.Duration
+	for _, x := range d {
+		t += x
+	}
+	return t
+}
+
+// runRemoteChaosBench is the `-remote addr -chaos` verified mode: wrap the
+// daemon in a local fault proxy at the given rate and replay the warm pool
+// with every answer VERIFIED against a local engine over the identical
+// synthetic relation (same -rows/-seed as the daemon). Any wrong answer or
+// residual error exits nonzero — the CI chaos smoke job runs exactly this.
+func runRemoteChaosBench(c remoteConfig, rate float64, faultSeed int64) {
+	c = c.withDefaults()
+	fmt.Printf("== chaos smoke vs %s: %.1f%% faults (seed %d), %d clients over %d conns, %d queries ==\n",
+		c.Addr, rate*100, faultSeed, c.Clients, c.Conns, c.Queries)
+
+	// The daemon built its relation from -rows/-seed; rebuild it here and
+	// answer the pool locally to know the ground truth. Cracking never
+	// changes answers, so matching result cardinalities per query is
+	// layout-independent.
+	base := concurrentConfig{Rows: c.Rows, Seed: c.Seed, Pool: c.Pool, Sel: c.Sel}.withDefaults()
+	local := engine.New(engine.Sideways, base.buildRelation())
+	pool := base.queryPool()
+	want := make([]int, len(pool))
+	for i, q := range pool {
+		res, _ := local.Query(q)
+		want[i] = res.N
+	}
+
+	px, err := faultnet.NewProxy("127.0.0.1:0", c.Addr, faultnet.Mix(rate, faultSeed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: chaos proxy: %v\n", err)
+		os.Exit(1)
+	}
+	defer px.Close()
+	cl, err := client.Dial(px.Addr().String(), client.Options{Conns: c.Conns})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: dial %s via fault proxy: %v (is crackserved running with matching -rows/-seed?)\n", c.Addr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	var wrong, errs atomic.Int64
+	perClient := c.Queries / c.Clients
+	var wg sync.WaitGroup
+	for g := 0; g < c.Clients; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perClient; i++ {
+				j := rng.Intn(len(pool))
+				res, _, err := cl.Query(pool[j])
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if res.N != want[j] {
+					wrong.Add(1)
+				}
+			}
+		}(c.Seed + 100 + int64(g))
+	}
+	wg.Wait()
+
+	ctr := cl.Counters()
+	fmt.Printf("chaos smoke: %d queries, %d wrong answers, %d errors; retries=%d hedges=%d sheds=%d redials=%d\n",
+		perClient*c.Clients, wrong.Load(), errs.Load(), ctr.Retries, ctr.Hedges, ctr.Sheds, ctr.Redials)
+	if wrong.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "crackbench: CHAOS FAILURE: %d wrong answers through the fault proxy\n", wrong.Load())
+		os.Exit(1)
+	}
+	if errs.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "crackbench: chaos smoke unhealthy: %d residual errors despite retries\n", errs.Load())
+		os.Exit(1)
+	}
+	if rate > 0 && ctr.Retries == 0 && ctr.Redials == 0 {
+		fmt.Println("warning: no faults were hit — increase -queries or -chaos-rate for a meaningful smoke")
+	}
+}

@@ -13,6 +13,8 @@
 //	crackbench -shards 4 -clients 8                    # sharded serving
 //	crackbench -policy all -pattern all                # adaptive policies
 //	crackbench -remote localhost:9090 -clients 8       # vs crackserved
+//	crackbench -chaos                                  # fault-injection sweep
+//	crackbench -remote localhost:9090 -chaos           # verified chaos smoke
 //
 // Experiment ids: exp1 exp2 exp3 exp4 exp5 exp6 fig9 fig10 fig11 fig12
 // fig13 ablation all. Sizes default to a laptop-friendly scale; -scale paper uses
@@ -40,6 +42,16 @@
 // the in-process concurrent baseline, emitting BENCH_remote_serving.json.
 // The run exits nonzero if any query failed on either side of the wire, so
 // CI can use it as a protocol smoke test.
+//
+// With -chaos the command measures the resilience layer: the warm workload
+// travels through an in-process fault-injecting proxy (internal/faultnet)
+// at 0%/1%/5% aggregate fault rates with client retries on and off, plus a
+// hedged-read segment and an overload segment at 2x the server's admission
+// capacity, emitting BENCH_chaos_resilience.json with retry/hedge/shed/
+// redial counters per series. Combined with -remote it instead runs a
+// verified chaos smoke against a live daemon — every answer checked
+// against a local engine over the identical relation — and exits nonzero
+// on any wrong answer or residual error (the CI chaos job).
 package main
 
 import (
@@ -72,8 +84,39 @@ func main() {
 		pattern = flag.String("pattern", "", "adaptive mode: access pattern to measure (random|sequential|zoomin|periodic|all)")
 		remote  = flag.String("remote", "", "run the remote serving benchmark against a crackserved daemon at this address (start it with matching -rows/-seed); emits BENCH_remote_serving.json and exits nonzero on any error")
 		conns   = flag.Int("conns", 0, "remote mode: pooled TCP connections (0 = default 2)")
+		chaos   = flag.Bool("chaos", false, "run the chaos resilience benchmark: fire the warm workload through a fault-injecting proxy, sweeping fault rates with retries on/off plus a 2x-capacity overload segment (emits BENCH_chaos_resilience.json); with -remote, instead run a verified chaos smoke against the daemon and exit nonzero on any wrong answer")
+		chRate  = flag.Float64("chaos-rate", 0.01, "chaos smoke (-remote -chaos): aggregate fault rate injected by the local proxy")
+		chSeed  = flag.Int64("chaos-seed", 7, "chaos mode: fault decision seed")
 	)
 	flag.Parse()
+
+	if *remote != "" && *chaos {
+		runRemoteChaosBench(remoteConfig{
+			Addr:    *remote,
+			Clients: *clients,
+			Conns:   *conns,
+			Rows:    *rows,
+			Queries: *queries,
+			Pool:    *srvPool,
+			Sel:     *srvSel,
+			Seed:    *seed,
+		}, *chRate, *chSeed)
+		return
+	}
+	if *chaos {
+		runChaosBench(chaosConfig{
+			Clients:   *clients,
+			Conns:     *conns,
+			Rows:      *rows,
+			Queries:   *queries,
+			Pool:      *srvPool,
+			Sel:       *srvSel,
+			Seed:      *seed,
+			FaultSeed: *chSeed,
+			JSONDir:   *jsonDir,
+		})
+		return
+	}
 
 	if *remote != "" {
 		runRemoteBench(remoteConfig{

@@ -11,18 +11,29 @@
 //	crackserved -kind selcrack -rows 1000000 -workers 8
 //	crackserved -shards 4 -policy stochastic               # sharded + adaptive
 //	crackserved -timeout 250ms                             # bound each query
+//	crackserved -fault-rate 0.01 -fault-seed 7             # chaos debug mode
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // answers everything in flight, prints the serving statistics, and exits.
 // A per-query -timeout keeps one slow crack from wedging a connection's
 // pipeline (timed-out queries fail with a distinct error, counted in the
 // stats, while the crack completes in the background).
+//
+// -fault-rate wraps the listener in internal/faultnet: accepted
+// connections corrupt, truncate, reset, short-write, and delay their
+// streams at the given aggregate rate, with decisions seeded by
+// -fault-seed. This is a debug mode for exercising client resilience
+// (retries, idempotent writes, redials) against a real daemon without a
+// separate proxy; see also `crackbench -chaos`. -max-waiting and
+// -max-inflight bound admission: requests beyond them draw an in-band
+// overloaded response (shed) instead of queueing without bound.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +41,7 @@ import (
 
 	"crackstore/internal/crack"
 	"crackstore/internal/engine"
+	"crackstore/internal/faultnet"
 	"crackstore/internal/netserve"
 	"crackstore/internal/serve"
 	"crackstore/internal/shard"
@@ -48,6 +60,10 @@ func main() {
 		rows     = flag.Int("rows", 200_000, "synthetic relation rows")
 		seed     = flag.Int64("seed", 1, "synthetic relation seed")
 		maxFrame = flag.Int("max-frame", 0, "largest accepted request frame in bytes (0 = default)")
+		maxWait  = flag.Int("max-waiting", 0, "shed queries in-band once this many are queued for a worker (0 = queue without bound)")
+		maxInfl  = flag.Int("max-inflight", 0, "shed requests in-band once this many are in flight across all connections (0 = per-connection pipelining limits only)")
+		faultR   = flag.Float64("fault-rate", 0, "DEBUG: inject connection faults (corruption, resets, truncation, partial writes, delays) at this aggregate per-operation rate")
+		faultS   = flag.Int64("fault-seed", 1, "DEBUG: seed for -fault-rate decisions")
 	)
 	flag.Parse()
 
@@ -84,21 +100,42 @@ func main() {
 		e = engine.New(kind, rel)
 	}
 
-	srv, err := netserve.Listen(*addr, e, netserve.Options{
+	opts := netserve.Options{
 		Serve: serve.Options{
-			Workers: *workers,
-			Batch:   *batch,
-			Timeout: *timeout,
-			Policy:  pol,
+			Workers:    *workers,
+			Batch:      *batch,
+			Timeout:    *timeout,
+			Policy:     pol,
+			MaxWaiting: *maxWait,
 		},
-		MaxFrame: *maxFrame,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "crackserved: %v\n", err)
-		os.Exit(1)
+		MaxFrame:    *maxFrame,
+		MaxInflight: *maxInfl,
+	}
+	var srv *netserve.Server
+	var bound net.Addr
+	if *faultR > 0 {
+		// Chaos debug mode: the daemon's own listener injects faults, so a
+		// plain client exercises the whole resilience path with no proxy.
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crackserved: %v\n", err)
+			os.Exit(1)
+		}
+		bound = ln.Addr()
+		srv = netserve.NewServer(e, opts)
+		go srv.Serve(faultnet.WrapListener(ln, faultnet.Mix(*faultR, *faultS)))
+		fmt.Printf("crackserved: FAULT INJECTION ON: %.2f%% aggregate rate, seed %d\n", *faultR*100, *faultS)
+	} else {
+		var err error
+		srv, err = netserve.Listen(*addr, e, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crackserved: %v\n", err)
+			os.Exit(1)
+		}
+		bound = srv.Addr()
 	}
 	fmt.Printf("crackserved: %s engine (%d rows, shards=%d, policy=%s) listening on %s\n",
-		kind, *rows, *shards, orDefault(*policy), srv.Addr())
+		kind, *rows, *shards, orDefault(*policy), bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -120,6 +120,17 @@ type Series struct {
 	Transport string
 	Conns     int
 	Pipeline  int
+	// FaultRate, Retries, Hedges, Sheds, and Redials describe a chaos /
+	// resilience series: the injected fault rate behind the run and the
+	// client-side resilience counters it drove (retried calls, hedged
+	// reads, in-band overload sheds absorbed, connections redialed). They
+	// make the chaos artifact self-auditing: a fault run whose counters
+	// are all zero exercised nothing.
+	FaultRate float64
+	Retries   int
+	Hedges    int
+	Sheds     int
+	Redials   int
 }
 
 // printSeries prints sampled points of several aligned series and, when

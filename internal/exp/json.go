@@ -26,6 +26,11 @@ type benchLineJSON struct {
 	Conns        int     `json:"conns,omitempty"`
 	Pipeline     int     `json:"pipeline,omitempty"`
 	Errors       int     `json:"errors,omitempty"`
+	FaultRate    float64 `json:"fault_rate,omitempty"`
+	Retries      int     `json:"retries,omitempty"`
+	Hedges       int     `json:"hedges,omitempty"`
+	Sheds        int     `json:"sheds,omitempty"`
+	Redials      int     `json:"redials,omitempty"`
 	PerQueryUs   []int64 `json:"per_query_us"`
 	CumulativeUs []int64 `json:"cumulative_us"`
 }
@@ -63,6 +68,11 @@ func (c Config) jsonSeries(name string, title, xlabel string, series []Series) e
 			Conns:        s.Conns,
 			Pipeline:     s.Pipeline,
 			Errors:       s.Errors,
+			FaultRate:    s.FaultRate,
+			Retries:      s.Retries,
+			Hedges:       s.Hedges,
+			Sheds:        s.Sheds,
+			Redials:      s.Redials,
 			PerQueryUs:   make([]int64, len(s.Y)),
 			CumulativeUs: make([]int64, len(s.Y)),
 		}

@@ -1,0 +1,212 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic: equal seeds make identical fault decisions for
+// an identical operation sequence — the property that makes a chaos run
+// reproducible.
+func TestDecideDeterministic(t *testing.T) {
+	f := Mix(0.3, 42)
+	a, b := NewInjector(f), NewInjector(f)
+	for i := 0; i < 1000; i++ {
+		fa, da, ca := a.decide(i%2 == 0)
+		fb, db, cb := b.decide(i%2 == 0)
+		if fa != fb || da != db || ca != cb {
+			t.Fatalf("draw %d diverged: (%c,%v,%v) vs (%c,%v,%v)", i, fa, da, ca, fb, db, cb)
+		}
+	}
+}
+
+// TestMixRates: over many draws each fault of the standard mix fires at
+// roughly its configured share, and a zero rate never fires.
+func TestMixRates(t *testing.T) {
+	in := NewInjector(Mix(0.5, 7))
+	counts := map[byte]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f, _, _ := in.decide(true)
+		counts[f]++
+	}
+	// Each write-side fault should get ~10% (0.5 * 0.2) of draws.
+	for _, f := range []byte{'R', 'C', 'P', 'T', 'D'} {
+		got := float64(counts[f]) / n
+		if got < 0.05 || got > 0.15 {
+			t.Errorf("fault %c rate %.3f, want ~0.10", f, got)
+		}
+	}
+	if none := float64(counts[0]) / n; none < 0.4 || none > 0.6 {
+		t.Errorf("no-fault rate %.3f, want ~0.50", none)
+	}
+
+	quiet := NewInjector(Faults{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if f, _, _ := quiet.decide(true); f != 0 {
+			t.Fatalf("zero-rate injector fired fault %c", f)
+		}
+	}
+}
+
+// pipePair builds a loopback TCP pair for conn-level tests.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		done <- c
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-done
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+// TestCorruptWriteFlipsByte: a corruption fault delivers a chunk of the
+// right length that differs from the original in exactly one byte, and the
+// caller's buffer is untouched.
+func TestCorruptWriteFlipsByte(t *testing.T) {
+	c, s := pipePair(t)
+	inj := NewInjector(Faults{Seed: 3, CorruptRate: 1})
+	fc := WrapConn(c, inj)
+	msg := []byte("hello, corrupted world")
+	orig := append([]byte(nil), msg...)
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatalf("corrupt write errored: %v", err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("Write mutated the caller's buffer")
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d bytes, want exactly 1", diff)
+	}
+}
+
+// TestResetAndPartialWriteKillConn: reset and partial-write faults error
+// with ErrInjected and leave the conn unusable — the shape a retrying
+// client must classify as a connection failure.
+func TestResetAndPartialWriteKillConn(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Faults
+	}{
+		{"reset", Faults{Seed: 5, ResetRate: 1}},
+		{"partial", Faults{Seed: 5, PartialWriteRate: 1}},
+		{"truncate", Faults{Seed: 5, TruncateRate: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, s := pipePair(t)
+			fc := WrapConn(c, NewInjector(tc.f))
+			_, err := fc.Write(make([]byte, 1024))
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("want ErrInjected, got %v", err)
+			}
+			// Peer observes a closed/truncated stream, never 1024 clean bytes.
+			s.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, _ := io.ReadFull(s, make([]byte, 1024))
+			if n >= 1024 {
+				t.Fatalf("peer received the full chunk despite %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestProxyCleanAtRateZero: a zero-fault proxy is a transparent forwarder.
+func TestProxyCleanAtRateZero(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), Faults{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte("abcdefgh"), 4096)
+	go c.Write(msg)
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("echo through proxy: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("proxy corrupted a zero-fault stream")
+	}
+}
+
+// TestProxyCloseSevers: closing the proxy severs proxied connections so
+// clients observe peer death instead of hanging.
+func TestProxyCloseSevers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), Faults{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("warm")) // ensure the proxied pair is established
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on severed proxy conn succeeded")
+	}
+}

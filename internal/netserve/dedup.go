@@ -1,0 +1,60 @@
+package netserve
+
+import (
+	"sync"
+
+	"crackstore/internal/wire"
+)
+
+// dedupWindow is the server-global idempotency-token memory: the first
+// request carrying a token claims it and executes; any retry of the same
+// token — which may arrive on a *different* connection, since the client
+// pools conns — waits for that execution and gets the recorded response
+// replayed. The window is bounded FIFO: once full, the oldest token is
+// forgotten, so a pathologically late retry of an ancient write may
+// re-execute — the window just has to outlive the client's retry budget,
+// which spans seconds, not the server's lifetime.
+type dedupWindow struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[uint64]*dedupEntry
+	order []uint64 // insertion order for FIFO eviction
+	pos   int      // next eviction slot once the ring is full
+}
+
+// dedupEntry is one claimed token. done is closed by the claimer after it
+// stores resp; replayers wait on done and copy resp (re-addressing the ID).
+type dedupEntry struct {
+	done chan struct{}
+	resp wire.Response
+}
+
+func newDedupWindow(capacity int) *dedupWindow {
+	return &dedupWindow{
+		cap:   capacity,
+		m:     make(map[uint64]*dedupEntry, capacity),
+		order: make([]uint64, 0, capacity),
+	}
+}
+
+// claim registers token ownership: first is true for the one caller that
+// must execute the write and then record+close the entry; every other
+// caller gets the same entry with first=false and replays it.
+func (d *dedupWindow) claim(token uint64) (*dedupEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.m[token]; ok {
+		return e, false
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	if len(d.order) < d.cap {
+		d.order = append(d.order, token)
+	} else {
+		// Ring full: forget the oldest token in place.
+		delete(d.m, d.order[d.pos])
+		d.order[d.pos] = token
+		d.pos = (d.pos + 1) % d.cap
+	}
+	d.m[token] = e
+	return e, true
+}

@@ -54,6 +54,17 @@ type Options struct {
 	// A client pipelining deeper is backpressured at the TCP level (the
 	// reader stops reading), never disconnected.
 	MaxPipeline int
+	// MaxInflight caps requests in flight across ALL connections; one more
+	// is answered wire.StatusOverloaded in-band — the connection stays
+	// healthy and the client backs off. 0 disables the global cap (per-conn
+	// MaxPipeline still applies). Ping is exempt: health checks must answer
+	// precisely when the server is saturated.
+	MaxInflight int
+	// DedupWindow bounds the idempotency-token dedup map: the server
+	// remembers the response of the last DedupWindow tokened writes and
+	// replays it when a client retry re-sends a token, so a write whose
+	// response was lost in transit is applied exactly once. 0 means 4096.
+	DedupWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +78,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxPipeline <= 0 {
 		o.MaxPipeline = 256
+	}
+	if o.DedupWindow <= 0 {
+		o.DedupWindow = 4096
 	}
 	if o.Serve.LatencyWindow <= 0 {
 		// A network server is long-running by nature: without a window the
@@ -93,6 +107,12 @@ type Server struct {
 	// dispatch.
 	inlineRO bool
 
+	// glimit is the global in-flight cap (nil when MaxInflight is 0);
+	// sheds counts requests answered StatusOverloaded at this layer.
+	glimit chan struct{}
+	sheds  atomic.Int64
+	dedup  *dedupWindow
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
@@ -107,12 +127,17 @@ type Server struct {
 func NewServer(e engine.Engine, opts Options) *Server {
 	opts = opts.withDefaults()
 	kind := e.Kind()
-	return &Server{
+	s := &Server{
 		srv:      serve.New(e, opts.Serve),
 		opts:     opts,
 		inlineRO: kind != engine.Scan && kind != engine.RowStore,
+		dedup:    newDedupWindow(opts.DedupWindow),
 		conns:    make(map[*conn]struct{}),
 	}
+	if opts.MaxInflight > 0 {
+		s.glimit = make(chan struct{}, opts.MaxInflight)
+	}
+	return s
 }
 
 // Listen starts serving e on addr (e.g. ":9090", "127.0.0.1:0") in a
@@ -203,8 +228,14 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Stats snapshots the serving-layer statistics (queries executed over all
-// connections; inserts and deletes are not counted as queries).
-func (s *Server) Stats() serve.Stats { return s.srv.Stats() }
+// connections; inserts and deletes are not counted as queries). Sheds sums
+// both shed layers: the serve watermark and the netserve global in-flight
+// cap.
+func (s *Server) Stats() serve.Stats {
+	st := s.srv.Stats()
+	st.Sheds += int(s.sheds.Load())
+	return st
+}
 
 // Engine returns the shared (wrapped) engine requests execute against.
 func (s *Server) Engine() engine.Engine { return s.srv.Engine() }
@@ -298,6 +329,28 @@ func (c *conn) readLoop() {
 			c.send(&wire.Response{Status: wire.StatusErr, Err: err.Error()})
 			break
 		}
+		arrival := time.Now()
+		// Ping answers on the reader, ahead of every limit: its whole point
+		// is fast peer-death detection, so it must respond even when the
+		// pipeline is saturated or the pool is shedding.
+		if req.Op == wire.OpPing {
+			c.send(&wire.Response{ID: req.ID, Op: wire.OpPing, Status: wire.StatusOK})
+			continue
+		}
+		// Global in-flight cap: over the line, the request is shed in-band
+		// with StatusOverloaded — never by closing the conn — and the client
+		// backs off and retries.
+		acquired := false
+		if c.s.glimit != nil {
+			select {
+			case c.s.glimit <- struct{}{}:
+				acquired = true
+			default:
+				c.s.sheds.Add(1)
+				c.send(&wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOverloaded})
+				continue
+			}
+		}
 		// Fast path: the warm read-only majority is answered inline — no
 		// goroutine handoff, no semaphore wait — whenever the engine can
 		// take the query without reorganizing and a slot is free. Slow
@@ -311,6 +364,9 @@ func (c *conn) readLoop() {
 				if time.Since(t0) > inlineCutoff {
 					c.inlineCooldown = inlineCooldownN
 				}
+				if acquired {
+					<-c.s.glimit
+				}
 				continue
 			}
 		} else if c.inlineCooldown > 0 {
@@ -318,12 +374,15 @@ func (c *conn) readLoop() {
 		}
 		c.limit <- struct{}{} // pipeline cap: backpressure instead of unbounded goroutines
 		c.inflight.Add(1)
-		go func(req wire.Request) {
+		go func(req wire.Request, acquired bool) {
 			defer c.inflight.Done()
-			resp := c.s.dispatch(&req)
+			resp := c.s.dispatch(&req, arrival)
 			c.send(resp)
+			if acquired {
+				<-c.s.glimit
+			}
 			<-c.limit
-		}(req)
+		}(req, acquired)
 	}
 	c.inflight.Wait() // every dispatched request has queued its response
 	close(c.out)      // writer flushes the tail and exits
@@ -373,8 +432,8 @@ func (c *conn) writeLoop() {
 func (c *conn) send(resp *wire.Response) {
 	buf := frameBufPool.Get().(*[]byte)
 	*buf = wire.AppendResponse(*buf, resp)
-	if len(*buf)-4 > c.s.opts.MaxFrame {
-		over := len(*buf) - 4
+	if len(*buf)-wire.FrameHeader > c.s.opts.MaxFrame {
+		over := len(*buf) - wire.FrameHeader
 		*buf = wire.AppendResponse((*buf)[:0], &wire.Response{
 			ID: resp.ID, Op: resp.Op, Status: wire.StatusErr,
 			Err: fmt.Sprintf("netserve: response frame %d bytes exceeds the %d-byte limit; narrow the query or raise MaxFrame", over, c.s.opts.MaxFrame),
@@ -400,9 +459,35 @@ func headerOf(payload []byte) (wire.Op, uint64, bool) {
 // Request dispatch.
 
 // dispatch executes one decoded request against the serving layer and
-// builds its response. Engine panics (malformed tuples, unknown
-// attributes) become error responses, never process deaths.
-func (s *Server) dispatch(req *wire.Request) (resp *wire.Response) {
+// builds its response. Writes carrying an idempotency token pass through
+// the dedup window first: a token already seen replays the recorded
+// response (re-addressed to the retry's request ID) instead of applying
+// the write twice — the exactly-once half of the client's
+// retry-after-send contract.
+func (s *Server) dispatch(req *wire.Request, arrival time.Time) *wire.Response {
+	if req.Token != 0 && (req.Op == wire.OpInsert || req.Op == wire.OpDelete) {
+		e, first := s.dedup.claim(req.Token)
+		if !first {
+			// A retry of a write the server already owns: wait out the
+			// original execution if needed and replay its response.
+			<-e.done
+			r := e.resp
+			r.ID = req.ID
+			return &r
+		}
+		resp := s.exec(req, arrival)
+		e.resp = *resp
+		close(e.done)
+		return resp
+	}
+	return s.exec(req, arrival)
+}
+
+// exec runs one request against the serving layer and builds its response.
+// Engine panics (malformed tuples, unknown attributes) become error
+// responses, never process deaths; serve-layer sheds and expiries map to
+// their in-band statuses.
+func (s *Server) exec(req *wire.Request, arrival time.Time) (resp *wire.Response) {
 	resp = &wire.Response{ID: req.ID, Op: req.Op}
 	defer func() {
 		if r := recover(); r != nil {
@@ -412,13 +497,27 @@ func (s *Server) dispatch(req *wire.Request) (resp *wire.Response) {
 			resp.Cost = engine.Cost{}
 		}
 	}()
+	// The wire TTL hint becomes an absolute deadline anchored at frame
+	// arrival: a query whose client has already given up is skipped by the
+	// serve layer instead of burning a worker slot.
+	var deadline time.Time
+	if req.TTL > 0 {
+		deadline = arrival.Add(req.TTL)
+	}
+	fail := func(err error) *wire.Response {
+		if errors.Is(err, serve.ErrOverloaded) {
+			resp.Status = wire.StatusOverloaded
+			return resp
+		}
+		resp.Status = wire.StatusErr
+		resp.Err = err.Error()
+		return resp
+	}
 	switch req.Op {
 	case wire.OpQuery:
-		res, cost, err := s.srv.Do(req.Query)
+		res, cost, err := s.srv.DoUntil(req.Query, deadline)
 		if err != nil {
-			resp.Status = wire.StatusErr
-			resp.Err = err.Error()
-			return resp
+			return fail(err)
 		}
 		resp.Result, resp.Cost = res, cost
 	case wire.OpQueryRO:
@@ -436,11 +535,9 @@ func (s *Server) dispatch(req *wire.Request) (resp *wire.Response) {
 				return resp
 			}
 			var err error
-			res, cost, err = s.srv.Do(req.Query)
+			res, cost, err = s.srv.DoUntil(req.Query, deadline)
 			if err != nil {
-				resp.Status = wire.StatusErr
-				resp.Err = err.Error()
-				return resp
+				return fail(err)
 			}
 		}
 		resp.Result, resp.Cost = res, cost
@@ -448,11 +545,15 @@ func (s *Server) dispatch(req *wire.Request) (resp *wire.Response) {
 		resp.Key = s.srv.Engine().Insert(req.Vals...)
 	case wire.OpDelete:
 		s.srv.Engine().Delete(req.Key)
+	case wire.OpPing:
+		// Normally answered on the reader; kept here so a directly
+		// dispatched ping still works.
 	case wire.OpStats:
-		st := s.srv.Stats()
+		st := s.Stats()
 		resp.Stats = wire.Stats{
 			Queries: st.Queries,
 			Errors:  st.Errors,
+			Sheds:   st.Sheds,
 			Elapsed: st.Elapsed,
 			QPS:     st.QPS,
 			P50:     st.P50,

@@ -245,9 +245,10 @@ func TestOversizedFrameRejected(t *testing.T) {
 	s := startServer(t, engine.New(engine.Sideways, buildRel(5, 500, 100)), Options{MaxFrame: 1 << 16})
 	r := rawDial(t, s)
 
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], 1<<24) // announce 16 MiB
-	r.write(hdr[:])
+	// A well-formed header announcing 16 MiB (echo intact, so the length
+	// itself is trusted and the size cap is what rejects it).
+	hdr := wire.AppendFrame(nil, make([]byte, 1<<24))[:wire.FrameHeader]
+	r.write(hdr)
 	resp := r.read()
 	if resp.ID != 0 || resp.Status != wire.StatusErr || !strings.Contains(resp.Err, "maximum size") {
 		t.Fatalf("oversized frame answered %+v", resp)

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOverloadSheds: with Workers=1 busy on a slow crack and MaxWaiting=2,
+// a flood of submissions is mostly shed with ErrOverloaded — cheaply, not
+// by stalling — while non-shed queries still complete correctly. Covers
+// both direct and batching admission.
+func TestOverloadSheds(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		g := &gatedEngine{delay: 50 * time.Millisecond}
+		srv := New(g, Options{Workers: 1, Batch: batch, Queue: 16, MaxWaiting: 2})
+
+		const flood = 32
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var shed, ok, other int
+		for i := 0; i < flood; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _, err := srv.Do(slowQuery)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, ErrOverloaded):
+					shed++
+				default:
+					other++
+				}
+			}()
+		}
+		wg.Wait()
+		if other != 0 {
+			t.Errorf("batch=%v: %d unexpected errors", batch, other)
+		}
+		if shed == 0 {
+			t.Errorf("batch=%v: flood of %d at MaxWaiting=2 shed nothing", batch, flood)
+		}
+		if ok == 0 {
+			t.Errorf("batch=%v: everything was shed; watermark must admit work", batch)
+		}
+		st := srv.Stats()
+		if st.Sheds != shed {
+			t.Errorf("batch=%v: Stats.Sheds=%d, want %d", batch, st.Sheds, shed)
+		}
+		if st.Errors != 0 {
+			t.Errorf("batch=%v: sheds leaked into Errors (%d)", batch, st.Errors)
+		}
+		// The server is healthy after the storm: a lone query succeeds.
+		if _, _, err := srv.Do(slowQuery); err != nil {
+			t.Errorf("batch=%v: post-storm query failed: %v", batch, err)
+		}
+		srv.Close()
+	}
+}
+
+// TestDoUntilExpiredSkipsExecution: a DoUntil whose deadline has already
+// passed returns ErrTimeout without ever reaching the engine, in both
+// modes — the server-side half of the wire TTL hint.
+func TestDoUntilExpiredSkipsExecution(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		g := &gatedEngine{}
+		srv := New(g, Options{Workers: 1, Batch: batch})
+		before := g.calls.Load()
+		_, _, err := srv.DoUntil(slowQuery, time.Now().Add(-time.Second))
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("batch=%v: want ErrTimeout for expired deadline, got %v", batch, err)
+		}
+		if g.calls.Load() != before {
+			t.Errorf("batch=%v: expired request reached the engine", batch)
+		}
+		if st := srv.Stats(); st.Errors != 1 {
+			t.Errorf("batch=%v: expired request not counted: Errors=%d", batch, st.Errors)
+		}
+		srv.Close()
+	}
+}
+
+// TestDoUntilNoSlotLeak is the regression test for the TTL satellite: a
+// burst of requests that all expire while one slow query holds the only
+// worker slot must not leak slots — afterwards the full worker capacity is
+// still available and fresh queries run.
+func TestDoUntilNoSlotLeak(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		g := &gatedEngine{delay: 150 * time.Millisecond}
+		srv := New(g, Options{Workers: 1, Batch: batch, Queue: 64})
+
+		// Occupy the worker.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Do(slowQuery)
+		}()
+		time.Sleep(20 * time.Millisecond)
+
+		// 16 requests whose deadlines expire while the worker is busy.
+		var expired sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			expired.Add(1)
+			go func() {
+				defer expired.Done()
+				_, _, err := srv.DoUntil(slowQuery, time.Now().Add(30*time.Millisecond))
+				if !errors.Is(err, ErrTimeout) {
+					t.Errorf("batch=%v: want ErrTimeout, got %v", batch, err)
+				}
+			}()
+		}
+		expired.Wait()
+		wg.Wait()
+
+		// All slots must be back: a query with plenty of deadline runs fine.
+		g.delay = 0
+		if _, _, err := srv.DoUntil(slowQuery, time.Now().Add(5*time.Second)); err != nil {
+			t.Errorf("batch=%v: slot leaked — post-expiry query failed: %v", batch, err)
+		}
+		srv.Close()
+	}
+}

@@ -56,6 +56,15 @@ type Options struct {
 	// keep whatever policy the engine was constructed with. Engines whose
 	// physical design does not crack ignore it.
 	Policy *crack.Policy
+	// MaxWaiting, when > 0, bounds the number of queries waiting for
+	// execution (an admission-queue watermark in batching mode, a
+	// semaphore-wait watermark in direct mode): a submission arriving with
+	// the watermark already reached is shed immediately with ErrOverloaded
+	// instead of queueing. Shedding is the overload defense for the remote
+	// path — the server answers cheaply and in-band rather than letting an
+	// unbounded backlog stretch every caller's latency (or stall the
+	// connection). 0 disables shedding; queues then grow without limit.
+	MaxWaiting int
 	// Timeout is an optional per-query deadline covering both the wait
 	// for an execution slot and the execution itself; 0 disables. A query
 	// whose deadline expires returns ErrTimeout (counted in Stats.Errors).
@@ -99,6 +108,12 @@ var ErrEmptyQuery = errors.New("serve: query has no predicates")
 // executing. Timed-out queries count in Stats.Errors.
 var ErrTimeout = errors.New("serve: query deadline exceeded")
 
+// ErrOverloaded is returned by Do when Options.MaxWaiting is set and the
+// wait backlog is at the watermark: the query was shed without executing.
+// Shed queries count in Stats.Sheds, not Stats.Errors — a shed is the
+// overload defense working, not a failure of the query.
+var ErrOverloaded = errors.New("serve: server overloaded, query shed")
+
 type request struct {
 	q    engine.Query
 	t0   time.Time
@@ -132,15 +147,17 @@ type Server struct {
 	work  chan []*request // batching mode: dispatcher -> worker pool
 	wg    sync.WaitGroup  // batching mode: workers + dispatcher
 
-	inDo   sync.WaitGroup // Do calls in flight (both modes)
-	bg     sync.WaitGroup // detached executions whose caller timed out
-	closed atomic.Bool
+	inDo    sync.WaitGroup // Do calls in flight (both modes)
+	bg      sync.WaitGroup // detached executions whose caller timed out
+	closed  atomic.Bool
+	waiting atomic.Int64 // direct mode: Do calls blocked on the semaphore
 
 	mu     sync.Mutex
 	lats   []time.Duration
 	latPos int       // LatencyWindow mode: next overwrite position once full
 	total  int       // completed successes ever (lats may be a window of them)
 	errs   int       // executed queries that failed (panic or engine error)
+	sheds  int       // queries shed at the MaxWaiting watermark
 	first  time.Time // earliest submission
 	last   time.Time // last completion
 }
@@ -182,10 +199,26 @@ func (s *Server) Engine() engine.Engine { return s.e }
 // completion, including queue or semaphore wait time. Do is safe to call
 // from any number of goroutines.
 func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
+	return s.DoUntil(q, time.Time{})
+}
+
+// DoUntil is Do with an explicit absolute deadline, the entry point for
+// callers that carry their own expiry — netserve maps a request's wire TTL
+// hint here, so a query whose client has already given up is skipped
+// instead of executed. A zero deadline means no caller deadline; when
+// Options.Timeout is also set, the earlier of the two applies. Expiry
+// returns ErrTimeout with the same exactly-once accounting and no-slot-leak
+// guarantees as Options.Timeout.
+func (s *Server) DoUntil(q engine.Query, deadline time.Time) (engine.Result, engine.Cost, error) {
 	if len(q.Preds) == 0 {
 		return engine.Result{}, engine.Cost{}, ErrEmptyQuery
 	}
 	t0 := time.Now()
+	if s.opts.Timeout > 0 {
+		if td := t0.Add(s.opts.Timeout); deadline.IsZero() || td.Before(deadline) {
+			deadline = td
+		}
+	}
 	// Register before checking closed: Close flips the flag first and then
 	// waits for inDo, so a Do that passed the check is always waited for.
 	s.inDo.Add(1)
@@ -193,12 +226,24 @@ func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
 	if s.closed.Load() {
 		return engine.Result{}, engine.Cost{}, ErrClosed
 	}
+	if !deadline.IsZero() && !t0.Before(deadline) {
+		// Expired before submission (e.g. the TTL burned up in transit):
+		// never touches the queue or a slot.
+		s.recordError(t0, t0)
+		return engine.Result{}, engine.Cost{}, ErrTimeout
+	}
+	if s.shouldShed() {
+		s.recordShed()
+		return engine.Result{}, engine.Cost{}, ErrOverloaded
+	}
 	if !s.opts.Batch {
-		if s.opts.Timeout > 0 {
-			return s.doDirectDeadline(q, t0)
+		if !deadline.IsZero() {
+			return s.doDirectDeadline(q, t0, deadline)
 		}
 		// Direct mode: execute on this goroutine under the semaphore.
+		s.waiting.Add(1)
 		s.sem <- struct{}{}
+		s.waiting.Add(-1)
 		res, cost, err := safeQuery(s.e, q)
 		<-s.sem
 		if err != nil {
@@ -209,13 +254,28 @@ func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
 		return res, cost, nil
 	}
 
-	req := &request{q: q, t0: t0, done: make(chan struct{})}
-	if s.opts.Timeout > 0 {
+	req := &request{q: q, t0: t0, deadline: deadline, done: make(chan struct{})}
+	if !deadline.IsZero() {
 		return s.doBatchDeadline(req)
 	}
 	s.admit <- req
 	<-req.done
 	return req.res, req.cost, req.err
+}
+
+// shouldShed reports whether a new submission must be shed at the
+// MaxWaiting watermark. Batching mode reads the admission-queue depth;
+// direct mode counts Do calls blocked on the semaphore. Both are cheap,
+// slightly racy reads — overload control needs a watermark, not an exact
+// count.
+func (s *Server) shouldShed() bool {
+	if s.opts.MaxWaiting <= 0 {
+		return false
+	}
+	if s.opts.Batch {
+		return len(s.admit) >= s.opts.MaxWaiting
+	}
+	return int(s.waiting.Load()) >= s.opts.MaxWaiting
 }
 
 // TryRO executes q immediately on the calling goroutine if the engine can
@@ -269,18 +329,21 @@ type outcome struct {
 	err  error
 }
 
-// doDirectDeadline is the direct-mode Do under Options.Timeout. The wait
-// for a semaphore slot is bounded by the deadline; once a slot is held the
+// doDirectDeadline is the direct-mode Do under a deadline. The wait for a
+// semaphore slot is bounded by the deadline; once a slot is held the
 // query runs on a detached goroutine so an expiring deadline returns
 // ErrTimeout to the caller immediately while the execution finishes in the
 // background and releases the slot itself — expiry can neither interrupt an
 // engine mid-crack nor leak the slot.
-func (s *Server) doDirectDeadline(q engine.Query, t0 time.Time) (engine.Result, engine.Cost, error) {
-	timer := time.NewTimer(s.opts.Timeout)
+func (s *Server) doDirectDeadline(q engine.Query, t0, deadline time.Time) (engine.Result, engine.Cost, error) {
+	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
+	s.waiting.Add(1)
 	select {
 	case s.sem <- struct{}{}:
+		s.waiting.Add(-1)
 	case <-timer.C:
+		s.waiting.Add(-1)
 		// Never got a slot; nothing to detach.
 		s.recordError(t0, time.Now())
 		return engine.Result{}, engine.Cost{}, ErrTimeout
@@ -316,13 +379,13 @@ func (s *Server) doDirectDeadline(q engine.Query, t0 time.Time) (engine.Result, 
 	}
 }
 
-// doBatchDeadline is the batching-mode Do under Options.Timeout: admission
-// itself is bounded by the deadline, and a request whose deadline expires
-// while queued behind a slow crack is answered ErrTimeout right away — the
-// worker that eventually pops it sees the claim and skips execution.
+// doBatchDeadline is the batching-mode Do under a deadline (req.deadline
+// is set): admission itself is bounded by the deadline, and a request whose
+// deadline expires while queued behind a slow crack is answered ErrTimeout
+// right away — the worker that eventually pops it sees the claim and skips
+// execution.
 func (s *Server) doBatchDeadline(req *request) (engine.Result, engine.Cost, error) {
-	req.deadline = req.t0.Add(s.opts.Timeout)
-	timer := time.NewTimer(s.opts.Timeout)
+	timer := time.NewTimer(time.Until(req.deadline))
 	defer timer.Stop()
 	select {
 	case s.admit <- req:
@@ -371,6 +434,16 @@ func (s *Server) recordError(t0, end time.Time) {
 	if end.After(s.last) {
 		s.last = end
 	}
+	s.mu.Unlock()
+}
+
+// recordShed counts a query shed at the overload watermark. Sheds stay out
+// of Errors and out of the run's wall clock: a shed request consumed no
+// slot and no engine time — the counter exists so operators can see the
+// defense firing, not to distort throughput numbers.
+func (s *Server) recordShed() {
+	s.mu.Lock()
+	s.sheds++
 	s.mu.Unlock()
 }
 
@@ -524,7 +597,10 @@ type Stats struct {
 	// (ErrTimeout under Options.Timeout). Failed queries contribute no
 	// latency sample, so QPS and the percentiles describe the Queries
 	// successes only; a nonzero Errors flags that the run was not healthy.
-	Errors  int
+	Errors int
+	// Sheds counts queries rejected with ErrOverloaded at the MaxWaiting
+	// watermark. They are neither Queries nor Errors: nothing executed.
+	Sheds   int
 	Elapsed time.Duration // earliest submission to last completion
 	QPS     float64       // Queries / Elapsed
 
@@ -547,6 +623,7 @@ func (s *Server) Stats() Stats {
 	lats := append([]time.Duration(nil), s.lats...)
 	total := s.total
 	errs := s.errs
+	sheds := s.sheds
 	first, last := s.first, s.last
 	s.mu.Unlock()
 
@@ -555,6 +632,7 @@ func (s *Server) Stats() Stats {
 		elapsed = last.Sub(first)
 	}
 	st := Summarize(lats, errs, elapsed)
+	st.Sheds = sheds
 	if total != st.Queries {
 		st.Queries = total
 		if st.Elapsed > 0 {

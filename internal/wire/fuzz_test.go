@@ -25,9 +25,17 @@ func FuzzDecodeRequest(f *testing.F) {
 		{ID: 3, Op: OpInsert, Vals: []store.Value{-1, 0, 1 << 40}},
 		{ID: 4, Op: OpDelete, Key: 77},
 		{ID: 5, Op: OpStats},
+		{ID: 6, Op: OpPing},
+		{ID: 7, Op: OpInsert, Token: 1<<64 - 1, TTL: 1 << 20, Vals: []store.Value{5}},
+		{ID: 8, Op: OpDelete, Token: 300, Key: 2},
 	} {
-		f.Add(AppendRequest(nil, &req)[4:])
+		f.Add(AppendRequest(nil, &req)[FrameHeader:])
 	}
+	// Token-bearing frames cut mid-token: the uvarint continuation bit is set
+	// with no following byte, which the decoder must reject, never over-read.
+	tok := AppendRequest(nil, &Request{ID: 9, Op: OpInsert, Token: 1 << 42, Vals: []store.Value{1}})[FrameHeader:]
+	f.Add(tok[:len(tok)-10])
+	f.Add(append(appendUvarint(appendUvarint([]byte{byte(OpDelete)}, 9), 0), 0x80))
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, payload []byte) {
@@ -35,12 +43,12 @@ func FuzzDecodeRequest(f *testing.F) {
 		if err != nil {
 			return
 		}
-		re := AppendRequest(nil, &req)[4:]
+		re := AppendRequest(nil, &req)[FrameHeader:]
 		req2, err := DecodeRequest(re)
 		if err != nil {
 			t.Fatalf("re-encoded request rejected: %v", err)
 		}
-		re2 := AppendRequest(nil, &req2)[4:]
+		re2 := AppendRequest(nil, &req2)[FrameHeader:]
 		if !bytes.Equal(re, re2) {
 			t.Fatalf("request re-encoding is not a fixed point:\n %x\n %x", re, re2)
 		}
@@ -58,8 +66,10 @@ func FuzzDecodeResponse(f *testing.F) {
 		{ID: 4, Op: OpDelete, Status: StatusOK},
 		{ID: 5, Op: OpStats, Status: StatusOK, Stats: Stats{Queries: 10, QPS: 1.5}},
 		{ID: 6, Op: OpQuery, Status: StatusErr, Err: "boom"},
+		{ID: 7, Op: OpPing, Status: StatusOK},
+		{ID: 8, Op: OpQueryRO, Status: StatusOverloaded},
 	} {
-		f.Add(AppendResponse(nil, &resp)[4:])
+		f.Add(AppendResponse(nil, &resp)[FrameHeader:])
 	}
 	f.Add([]byte{respTag})
 	f.Fuzz(func(t *testing.T, payload []byte) {
@@ -67,12 +77,12 @@ func FuzzDecodeResponse(f *testing.F) {
 		if err != nil {
 			return
 		}
-		re := AppendResponse(nil, &resp)[4:]
+		re := AppendResponse(nil, &resp)[FrameHeader:]
 		resp2, err := DecodeResponse(re)
 		if err != nil {
 			t.Fatalf("re-encoded response rejected: %v", err)
 		}
-		re2 := AppendResponse(nil, &resp2)[4:]
+		re2 := AppendResponse(nil, &resp2)[FrameHeader:]
 		if !bytes.Equal(re, re2) {
 			t.Fatalf("response re-encoding is not a fixed point:\n %x\n %x", re, re2)
 		}

@@ -7,15 +7,26 @@
 //
 // Every message travels as one frame:
 //
-//	+----------------+---------------------+
-//	| length uint32  | payload             |
-//	| big-endian     | (length bytes)      |
-//	+----------------+---------------------+
+//	+----------------+------------------+----------------+---------------------+
+//	| length uint32  | length^lenEcho   | crc32 uint32   | payload             |
+//	| big-endian     | big-endian       | IEEE, payload  | (length bytes)      |
+//	+----------------+------------------+----------------+---------------------+
 //
-// The length counts payload bytes only. Readers enforce a maximum frame
+// The length counts payload bytes only, and travels twice — once plain,
+// once XOR-masked — so the reader validates it before trusting it: a
+// corrupted length byte is the one fault a payload CRC cannot catch,
+// because the reader would block waiting for a frame that was never sent
+// instead of reaching the checksum. Readers also enforce a maximum frame
 // size (MaxFrame / DefaultMaxFrame): a peer announcing a larger frame is a
 // protocol error, detected before any allocation, so a corrupt or
 // adversarial length prefix cannot make the receiver allocate gigabytes.
+// The checksum turns silent byte corruption — a flaky link, a broken
+// middlebox — into a detectable connection error (ErrChecksum) instead of
+// a wrong answer: a value column is raw 8-byte words, so without the CRC a
+// flipped bit would decode cleanly into a different value. Corruption is
+// not recoverable in-stream (the frame boundary itself is untrusted);
+// the reader reports it and the connection ends, which the client treats
+// like any other connection failure and retries idempotently elsewhere.
 //
 // # Payloads
 //
@@ -30,9 +41,19 @@
 //
 // Requests: OpQuery and OpQueryRO carry a Query (predicates, projections,
 // disjunctive flag); OpInsert carries the tuple values; OpDelete the tuple
-// key; OpStats is empty. Responses: StatusOK carries the op-specific body
-// (result+cost, inserted key, nothing, serving stats); StatusErr carries an
-// error string; StatusRefused is the QueryRO "would reorganize" answer.
+// key; OpStats and OpPing are empty. Every request also carries a TTL
+// uvarint (microseconds; 0 = none) — a deadline hint that lets the server
+// skip executing requests whose caller has already given up — and the
+// write requests (OpInsert, OpDelete) carry an idempotency token: the
+// server deduplicates retried writes by token and replays the recorded
+// response, so a client may safely resend a write whose response was lost.
+//
+// Responses: StatusOK carries the op-specific body (result+cost, inserted
+// key, nothing, serving stats); StatusErr carries an error string;
+// StatusRefused is the QueryRO "would reorganize" answer; StatusOverloaded
+// is the in-band shed answer — the server declined cheaply under overload
+// and the client should back off and retry, with no work done and the
+// connection intact.
 //
 // Decoding is strict: every read is bounds-checked, trailing garbage is an
 // error, and slice preallocations are capped by the bytes actually
@@ -45,6 +66,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
@@ -53,6 +75,20 @@ import (
 	"crackstore/internal/engine"
 	"crackstore/internal/store"
 )
+
+// FrameHeader is the byte size of the frame header: a big-endian payload
+// length, the same length XOR lenEcho, and a big-endian CRC-32 (IEEE) of
+// the payload. The masked echo makes the header self-validating: the
+// payload CRC can only be checked after the length is trusted, so a
+// corrupted length byte would otherwise mis-frame the stream — the reader
+// could block forever waiting for bytes that never come instead of
+// failing. With the echo, any corruption confined to the length field is
+// detected before a single payload byte is read.
+const FrameHeader = 12
+
+// lenEcho masks the redundant length copy so an all-zero header (a common
+// failure shape) never validates.
+const lenEcho = 0x5AA5C33C
 
 // DefaultMaxFrame is the frame-size cap used when a reader does not choose
 // its own: large enough for result sets of a few million tuples, small
@@ -69,6 +105,7 @@ const (
 	OpInsert  Op = 3 // append one tuple
 	OpDelete  Op = 4 // delete by tuple key
 	OpStats   Op = 5 // serving-layer statistics snapshot
+	OpPing    Op = 6 // health check: answered immediately, bypassing admission
 )
 
 func (o Op) String() string {
@@ -83,6 +120,8 @@ func (o Op) String() string {
 		return "delete"
 	case OpStats:
 		return "stats"
+	case OpPing:
+		return "ping"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -95,6 +134,11 @@ const (
 	StatusOK      Status = 0 // body is the op-specific success payload
 	StatusErr     Status = 1 // body is an error string
 	StatusRefused Status = 2 // OpQueryRO only: executing would reorganize
+	// StatusOverloaded is the in-band shed response: the server's admission
+	// watermark (or global in-flight cap) was exceeded, the request did not
+	// execute, and the connection remains healthy. Clients back off and
+	// retry; shedding never closes the connection.
+	StatusOverloaded Status = 3
 )
 
 // respTag marks a payload as a response (high bit set over the request op).
@@ -104,6 +148,21 @@ const respTag byte = 0x80
 type Request struct {
 	ID uint64
 	Op Op
+
+	// TTL is the caller's remaining deadline budget when the request was
+	// sent (microsecond resolution on the wire; 0 = no deadline). The
+	// server treats arrival+TTL as the request's deadline and skips
+	// executing requests that expire while queued — the caller has already
+	// given up, so the work would be wasted and the worker slot occupied
+	// for nothing.
+	TTL time.Duration
+
+	// Token is the idempotency token of a write request (OpInsert,
+	// OpDelete; 0 = none). The server keeps a bounded window of recently
+	// executed tokens and answers a repeated token by replaying the
+	// recorded response instead of applying the write again — what makes a
+	// write safe to retry after its frame reached the wire.
+	Token uint64
 
 	// Query body (OpQuery, OpQueryRO).
 	Query engine.Query
@@ -135,6 +194,9 @@ type Response struct {
 type Stats struct {
 	Queries int
 	Errors  int
+	// Sheds counts requests refused in-band under overload
+	// (StatusOverloaded); they neither executed nor count as Errors.
+	Sheds   int
 	Elapsed time.Duration
 	QPS     float64
 
@@ -147,34 +209,49 @@ var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 	// ErrCorrupt reports a payload that does not decode cleanly.
 	ErrCorrupt = errors.New("wire: corrupt payload")
+	// ErrChecksum reports a frame whose payload does not match its CRC:
+	// the stream carried corrupted bytes and cannot be trusted past this
+	// point.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
 )
 
 // ---------------------------------------------------------------------------
 // Framing.
 
-// AppendFrame appends the 4-byte length prefix and payload to buf.
+// AppendFrame appends the frame header (length + masked length echo + CRC)
+// and payload to buf.
 func AppendFrame(buf, payload []byte) []byte {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	var hdr [FrameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload))^lenEcho)
+	binary.BigEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload))
 	return append(append(buf, hdr[:]...), payload...)
 }
 
-// ReadFrame reads one length-prefixed payload from r. Frames longer than
-// maxFrame (DefaultMaxFrame when <= 0) return ErrFrameTooLarge before any
-// payload allocation. io.EOF is returned only on a clean boundary (no
-// partial header).
+// ReadFrame reads one length-prefixed, checksummed payload from r. A
+// header whose masked length echo disagrees with its length draws
+// ErrChecksum immediately, before any payload read — a corrupted length
+// must never decide how many bytes to wait for, or the reader could stall
+// forever on a mis-framed stream. Frames longer than maxFrame
+// (DefaultMaxFrame when <= 0) return ErrFrameTooLarge before any payload
+// allocation; a payload that fails its CRC returns ErrChecksum — the
+// stream carried corruption and the connection should be abandoned. io.EOF
+// is returned only on a clean boundary (no partial header).
 func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	var hdr [4]byte
+	var hdr [FrameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("wire: truncated frame header: %w", io.ErrUnexpectedEOF)
 		}
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if echo := binary.BigEndian.Uint32(hdr[4:8]); echo != n^lenEcho {
+		return nil, fmt.Errorf("%w: length %d does not match its echo", ErrChecksum, n)
+	}
 	// Compare in uint64: converting a cap >= 2^32 to uint32 would wrap and
 	// reject (or mis-cap) every frame.
 	if uint64(n) > uint64(maxFrame) {
@@ -186,6 +263,9 @@ func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
 			return nil, fmt.Errorf("wire: truncated frame body: %w", io.ErrUnexpectedEOF)
 		}
 		return nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(hdr[8:]); got != want {
+		return nil, fmt.Errorf("%w: crc %08x != %08x over %d bytes", ErrChecksum, got, want, n)
 	}
 	return payload, nil
 }
@@ -461,6 +541,7 @@ func consumeCost(b []byte) (engine.Cost, []byte, error) {
 func appendStats(buf []byte, st Stats) []byte {
 	buf = appendUvarint(buf, uint64(st.Queries))
 	buf = appendUvarint(buf, uint64(st.Errors))
+	buf = appendUvarint(buf, uint64(st.Sheds))
 	buf = appendDuration(buf, st.Elapsed)
 	buf = appendUvarint(buf, math.Float64bits(st.QPS))
 	buf = appendDuration(buf, st.P50)
@@ -491,6 +572,13 @@ func consumeStats(b []byte) (Stats, []byte, error) {
 		return st, nil, ErrCorrupt
 	}
 	st.Errors = int(u)
+	if u, b, err = consumeUvarint(b); err != nil {
+		return st, nil, err
+	}
+	if u > math.MaxInt64 {
+		return st, nil, ErrCorrupt
+	}
+	st.Sheds = int(u)
 	if st.Elapsed, b, err = consumeDuration(b); err != nil {
 		return st, nil, err
 	}
@@ -516,33 +604,47 @@ func consumeStats(b []byte) (Stats, []byte, error) {
 // ---------------------------------------------------------------------------
 // Request codec.
 
-// beginFrame reserves the 4-byte length prefix in buf, returning its
-// offset; endFrame backfills it once the payload has been encoded in
+// beginFrame reserves the frame header (length + CRC) in buf, returning
+// its offset; endFrame backfills both once the payload has been encoded in
 // place. Encoding directly into the destination (the pooled frame buffers
 // of netserve and the client) avoids a per-message scratch allocation and
 // a full payload copy on the hot path.
 func beginFrame(buf []byte) ([]byte, int) {
-	return append(buf, 0, 0, 0, 0), len(buf)
+	return append(buf, make([]byte, FrameHeader)...), len(buf)
 }
 
 func endFrame(buf []byte, start int) []byte {
-	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	payload := buf[start+FrameHeader:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[start+4:], uint32(len(payload))^lenEcho)
+	binary.BigEndian.PutUint32(buf[start+8:], crc32.ChecksumIEEE(payload))
 	return buf
 }
+
+// maxTTLMicros bounds the decoded deadline hint so a corrupt (or
+// adversarial) TTL cannot overflow the Duration conversion.
+const maxTTLMicros = uint64(math.MaxInt64 / int64(time.Microsecond))
 
 // AppendRequest appends req as one complete frame (prefix included).
 func AppendRequest(buf []byte, req *Request) []byte {
 	buf, start := beginFrame(buf)
 	buf = append(buf, byte(req.Op))
 	buf = appendUvarint(buf, req.ID)
+	ttl := req.TTL / time.Microsecond
+	if ttl < 0 {
+		ttl = 0
+	}
+	buf = appendUvarint(buf, uint64(ttl))
 	switch req.Op {
 	case OpQuery, OpQueryRO:
 		buf = appendQuery(buf, req.Query)
 	case OpInsert:
+		buf = appendUvarint(buf, req.Token)
 		buf = appendValues(buf, req.Vals)
 	case OpDelete:
+		buf = appendUvarint(buf, req.Token)
 		buf = appendVarint(buf, int64(req.Key))
-	case OpStats:
+	case OpStats, OpPing:
 		// no body
 	default:
 		panic(fmt.Sprintf("wire: cannot encode request op %v", req.Op))
@@ -561,6 +663,14 @@ func DecodeRequest(payload []byte) (Request, error) {
 	if req.ID, b, err = consumeUvarint(b); err != nil {
 		return req, err
 	}
+	var ttl uint64
+	if ttl, b, err = consumeUvarint(b); err != nil {
+		return req, err
+	}
+	if ttl > maxTTLMicros {
+		return req, fmt.Errorf("%w: ttl overflows", ErrCorrupt)
+	}
+	req.TTL = time.Duration(ttl) * time.Microsecond
 	req.Op = op
 	switch op {
 	case OpQuery, OpQueryRO:
@@ -568,10 +678,16 @@ func DecodeRequest(payload []byte) (Request, error) {
 			return req, err
 		}
 	case OpInsert:
+		if req.Token, b, err = consumeUvarint(b); err != nil {
+			return req, err
+		}
 		if req.Vals, b, err = consumeValues(b); err != nil {
 			return req, err
 		}
 	case OpDelete:
+		if req.Token, b, err = consumeUvarint(b); err != nil {
+			return req, err
+		}
 		var k int64
 		if k, b, err = consumeVarint(b); err != nil {
 			return req, err
@@ -580,7 +696,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 			return req, ErrCorrupt
 		}
 		req.Key = int(k)
-	case OpStats:
+	case OpStats, OpPing:
 		// no body
 	default:
 		return req, fmt.Errorf("%w: unknown request op %d", ErrCorrupt, byte(op))
@@ -605,6 +721,8 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 		buf = appendString(buf, resp.Err)
 	case StatusRefused:
 		// no body: the query must be retried as OpQuery
+	case StatusOverloaded:
+		// no body: the request was shed before executing; retry with backoff
 	case StatusOK:
 		switch resp.Op {
 		case OpQuery, OpQueryRO:
@@ -612,7 +730,7 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 			buf = appendCost(buf, resp.Cost)
 		case OpInsert:
 			buf = appendVarint(buf, int64(resp.Key))
-		case OpDelete:
+		case OpDelete, OpPing:
 			// no body
 		case OpStats:
 			buf = appendStats(buf, resp.Stats)
@@ -653,6 +771,13 @@ func DecodeResponse(payload []byte) (Response, error) {
 		if resp.Op != OpQueryRO {
 			return resp, fmt.Errorf("%w: refused status on %v", ErrCorrupt, resp.Op)
 		}
+	case StatusOverloaded:
+		switch resp.Op {
+		case OpQuery, OpQueryRO, OpInsert, OpDelete, OpStats, OpPing:
+			// no body
+		default:
+			return resp, fmt.Errorf("%w: overloaded status on unknown op %d", ErrCorrupt, byte(resp.Op))
+		}
 	case StatusOK:
 		switch resp.Op {
 		case OpQuery, OpQueryRO:
@@ -671,7 +796,7 @@ func DecodeResponse(payload []byte) (Response, error) {
 				return resp, ErrCorrupt
 			}
 			resp.Key = int(k)
-		case OpDelete:
+		case OpDelete, OpPing:
 			// no body
 		case OpStats:
 			if resp.Stats, b, err = consumeStats(b); err != nil {

@@ -30,6 +30,13 @@ func sampleRequests() []Request {
 		{ID: 4, Op: OpInsert},
 		{ID: 5, Op: OpDelete, Key: 123456},
 		{ID: 6, Op: OpStats},
+		{ID: 7, Op: OpPing},
+		{ID: 8, Op: OpInsert, Token: 1<<64 - 3, Vals: []store.Value{9}},
+		{ID: 9, Op: OpDelete, Token: 77, Key: 5},
+		{ID: 10, Op: OpQuery, TTL: 250 * time.Millisecond, Query: engine.Query{
+			Preds: []engine.AttrPred{{Attr: "A", Pred: store.Point(3)}},
+		}},
+		{ID: 11, Op: OpInsert, TTL: time.Second, Token: 42, Vals: []store.Value{1, 2}},
 	}
 }
 
@@ -52,10 +59,14 @@ func sampleResponses() []Response {
 		{ID: 5, Op: OpInsert, Status: StatusOK, Key: 99},
 		{ID: 6, Op: OpDelete, Status: StatusOK},
 		{ID: 7, Op: OpStats, Status: StatusOK, Stats: Stats{
-			Queries: 1000, Errors: 2, Elapsed: 3 * time.Second, QPS: 12345.678,
+			Queries: 1000, Errors: 2, Sheds: 17, Elapsed: 3 * time.Second, QPS: 12345.678,
 			P50: time.Millisecond, P95: 2 * time.Millisecond,
 			P99: 4 * time.Millisecond, Max: time.Second,
 		}},
+		{ID: 8, Op: OpPing, Status: StatusOK},
+		{ID: 9, Op: OpQuery, Status: StatusOverloaded},
+		{ID: 10, Op: OpInsert, Status: StatusOverloaded},
+		{ID: 11, Op: OpPing, Status: StatusOverloaded},
 	}
 }
 
@@ -169,7 +180,7 @@ func TestReadFrameTruncation(t *testing.T) {
 func TestDecodeTruncatedPayloads(t *testing.T) {
 	for _, req := range sampleRequests() {
 		frame := AppendRequest(nil, &req)
-		payload := frame[4:]
+		payload := frame[FrameHeader:]
 		for cut := 0; cut < len(payload); cut++ {
 			if _, err := DecodeRequest(payload[:cut]); err == nil {
 				t.Fatalf("%v: truncated payload (%d/%d bytes) decoded cleanly", req.Op, cut, len(payload))
@@ -178,7 +189,7 @@ func TestDecodeTruncatedPayloads(t *testing.T) {
 	}
 	for _, resp := range sampleResponses() {
 		frame := AppendResponse(nil, &resp)
-		payload := frame[4:]
+		payload := frame[FrameHeader:]
 		for cut := 0; cut < len(payload); cut++ {
 			if _, err := DecodeResponse(payload[:cut]); err == nil {
 				t.Fatalf("%v: truncated payload (%d/%d bytes) decoded cleanly", resp.Op, cut, len(payload))
@@ -190,9 +201,146 @@ func TestDecodeTruncatedPayloads(t *testing.T) {
 func TestDecodeRejectsTrailingGarbage(t *testing.T) {
 	for _, req := range sampleRequests() {
 		frame := AppendRequest(nil, &req)
-		payload := append(append([]byte(nil), frame[4:]...), 0xEE)
+		payload := append(append([]byte(nil), frame[FrameHeader:]...), 0xEE)
 		if _, err := DecodeRequest(payload); err == nil {
 			t.Fatalf("%v: trailing garbage accepted", req.Op)
+		}
+	}
+}
+
+// TestReadFrameChecksum: a flipped byte ANYWHERE in the frame — length,
+// length echo, CRC, or payload — is rejected as ErrChecksum, and never by
+// blocking on a mis-framed read. This is the property that turns silent
+// corruption into a retryable connection error instead of a wrong answer
+// or a stalled stream: a corrupted length field is caught by its masked
+// echo before the reader decides how many bytes to wait for.
+func TestReadFrameChecksum(t *testing.T) {
+	req := sampleRequests()[0]
+	frame := AppendRequest(nil, &req)
+	for i := 0; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: want ErrChecksum, got %v", i, err)
+		}
+	}
+	// The pristine frame still passes.
+	if _, err := ReadFrame(bytes.NewReader(frame), 0); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+}
+
+// TestDecodeResilienceFrames is the table-driven decode matrix for the
+// resilience additions: Ping requests/responses, StatusOverloaded sheds,
+// idempotency tokens, and TTL hints — valid forms decode to the exact
+// struct, malformed forms (truncated token, oversized TTL, overloaded on
+// an unknown op) draw ErrCorrupt.
+func TestDecodeResilienceFrames(t *testing.T) {
+	reqCases := []struct {
+		name    string
+		payload []byte
+		want    Request
+		wantErr bool
+	}{
+		{
+			name:    "ping",
+			payload: AppendRequest(nil, &Request{ID: 3, Op: OpPing})[FrameHeader:],
+			want:    Request{ID: 3, Op: OpPing},
+		},
+		{
+			name:    "insert with token and ttl",
+			payload: AppendRequest(nil, &Request{ID: 4, Op: OpInsert, Token: 99, TTL: time.Millisecond, Vals: []store.Value{1}})[FrameHeader:],
+			want:    Request{ID: 4, Op: OpInsert, Token: 99, TTL: time.Millisecond, Vals: []store.Value{1}},
+		},
+		{
+			name:    "delete with token",
+			payload: AppendRequest(nil, &Request{ID: 5, Op: OpDelete, Token: 1 << 62, Key: 9})[FrameHeader:],
+			want:    Request{ID: 5, Op: OpDelete, Token: 1 << 62, Key: 9},
+		},
+		{
+			name: "truncated token",
+			// Op + ID + TTL, then a token uvarint with its continuation bit
+			// set and nothing after it.
+			payload: append(appendUvarint(appendUvarint([]byte{byte(OpInsert)}, 6), 0), 0x80),
+			wantErr: true,
+		},
+		{
+			name: "ttl overflows duration",
+			payload: appendUvarint(appendUvarint([]byte{byte(OpPing)}, 7),
+				uint64(1)<<63),
+			wantErr: true,
+		},
+		{
+			name:    "ping with trailing body",
+			payload: append(AppendRequest(nil, &Request{ID: 8, Op: OpPing})[FrameHeader:], 0x01),
+			wantErr: true,
+		},
+	}
+	for _, tc := range reqCases {
+		got, err := DecodeRequest(tc.payload)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: decoded cleanly, want error", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(normalizeReq(got), normalizeReq(tc.want)) {
+			t.Errorf("%s: got %+v want %+v", tc.name, got, tc.want)
+		}
+	}
+
+	respCases := []struct {
+		name    string
+		payload []byte
+		want    Response
+		wantErr bool
+	}{
+		{
+			name:    "pong",
+			payload: AppendResponse(nil, &Response{ID: 2, Op: OpPing, Status: StatusOK})[FrameHeader:],
+			want:    Response{ID: 2, Op: OpPing, Status: StatusOK},
+		},
+		{
+			name:    "query shed",
+			payload: AppendResponse(nil, &Response{ID: 3, Op: OpQuery, Status: StatusOverloaded})[FrameHeader:],
+			want:    Response{ID: 3, Op: OpQuery, Status: StatusOverloaded},
+		},
+		{
+			name:    "insert shed",
+			payload: AppendResponse(nil, &Response{ID: 4, Op: OpInsert, Status: StatusOverloaded})[FrameHeader:],
+			want:    Response{ID: 4, Op: OpInsert, Status: StatusOverloaded},
+		},
+		{
+			name: "shed on unknown op",
+			payload: append(appendUvarint([]byte{0x7F | respTag}, 5),
+				byte(StatusOverloaded)),
+			wantErr: true,
+		},
+		{
+			name: "shed with trailing body",
+			payload: append(AppendResponse(nil,
+				&Response{ID: 6, Op: OpQuery, Status: StatusOverloaded})[FrameHeader:], 0xAB),
+			wantErr: true,
+		},
+	}
+	for _, tc := range respCases {
+		got, err := DecodeResponse(tc.payload)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: decoded cleanly, want error", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(normalizeResp(got), normalizeResp(tc.want)) {
+			t.Errorf("%s: got %+v want %+v", tc.name, got, tc.want)
 		}
 	}
 }
@@ -200,17 +348,20 @@ func TestDecodeRejectsTrailingGarbage(t *testing.T) {
 // TestDecodeAdversarialCounts pins the over-allocation guard: a tiny frame
 // announcing a huge element count must be rejected, not trusted.
 func TestDecodeAdversarialCounts(t *testing.T) {
-	// OpInsert with a claimed 2^40 values in a 12-byte payload.
+	// OpInsert with a claimed 2^40 values in a tiny payload.
 	payload := []byte{byte(OpInsert)}
-	payload = appendUvarint(payload, 1)
-	payload = appendUvarint(payload, 1<<40)
+	payload = appendUvarint(payload, 1)     // ID
+	payload = appendUvarint(payload, 0)     // TTL
+	payload = appendUvarint(payload, 7)     // token
+	payload = appendUvarint(payload, 1<<40) // value count
 	if _, err := DecodeRequest(payload); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("huge insert count: want ErrCorrupt, got %v", err)
 	}
 	// Query with a claimed 2^32 predicates.
 	payload = []byte{byte(OpQuery)}
-	payload = appendUvarint(payload, 1)
-	payload = appendUvarint(payload, 1<<32)
+	payload = appendUvarint(payload, 1)     // ID
+	payload = appendUvarint(payload, 0)     // TTL
+	payload = appendUvarint(payload, 1<<32) // predicate count
 	if _, err := DecodeRequest(payload); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("huge pred count: want ErrCorrupt, got %v", err)
 	}
