@@ -242,6 +242,23 @@ func Concurrent(e Engine) Engine { return engine.Concurrent(e) }
 // (crackbench -clients).
 func Serialized(e Engine) Engine { return engine.Serialized(e) }
 
+// Snapshot wraps an engine for concurrent serving with lock-free snapshot
+// reads: writers publish every reorganization (crack, pending-update
+// merge) as a new immutable version behind an atomic pointer, readers pin
+// an epoch and traverse the version they loaded, and retired versions are
+// reclaimed only after every reader that could see them has exited — so a
+// read-only query never waits for a crack, where Concurrent stalls all
+// readers behind a cold crack's write lock. Implemented for SelCrack
+// engines; already-shared engines are returned unchanged and other kinds
+// fall back to Concurrent. Wrapping is idempotent.
+func Snapshot(e Engine) Engine { return engine.Snapshot(e) }
+
+// ConcurrencyStats reports reader/writer contention statistics from a
+// shared-safe wrapper: time readers spent blocked (Concurrent), versions
+// published and reclaimed (Snapshot). ok is false when e's wrapper does
+// not track them.
+func ConcurrencyStats(e Engine) (engine.ConcStats, bool) { return engine.ConcStatsOf(e) }
+
 // Synchronized wraps an engine so it can be shared across goroutines.
 //
 // Deprecated: Synchronized is a shim over Concurrent, kept for

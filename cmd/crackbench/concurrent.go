@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"crackstore/internal/engine"
 	"crackstore/internal/exp"
@@ -31,6 +32,11 @@ type concurrentConfig struct {
 	Seed    int64
 	JSONDir string
 	Batch   bool // also run the admission-batching server variant
+	// CPUSweep, when non-empty, repeats the serialized/concurrent
+	// comparison at each GOMAXPROCS value, emitting one series per value
+	// (exp.Series.CPUs) so multi-core scaling claims are reproducible from
+	// the artifact. Sharding and batching variants stay out of the sweep.
+	CPUSweep []int
 
 	// jsonDefaulted is set when JSONDir was not given explicitly: only the
 	// sharded artifact is emitted then, so a bare `-shards N -clients M`
@@ -147,9 +153,49 @@ func (c concurrentConfig) runMode(name string, build func(*store.Relation) engin
 	wg.Wait()
 	st := srv.Stats()
 	srv.Close()
-	fmt.Printf("%-22s %8d queries  %3d errors  %10.0f q/s  p50=%-8s p95=%-8s p99=%-8s max=%s\n",
+	fmt.Printf("%-22s %8d queries  %3d errors  %10.0f q/s  p50=%-8s p95=%-8s p99=%-8s max=%s",
 		name, st.Queries, st.Errors, st.QPS, st.P50, st.P95, st.P99, st.Max)
+	if st.ReaderWaits > 0 {
+		fmt.Printf("  wait=%s/%d", st.ReaderWait.Round(time.Microsecond), st.ReaderWaits)
+	}
+	if st.Snapshots > 0 {
+		fmt.Printf("  snaps=%d", st.Snapshots)
+	}
+	fmt.Println()
 	return st
+}
+
+// runCPUSweep repeats the serialized/concurrent comparison at each
+// GOMAXPROCS value of the -cpus flag and emits one series per (mode, CPUs)
+// pair, so the artifact carries the scaling curve rather than one point.
+func (c concurrentConfig) runCPUSweep(single func(func(engine.Engine) engine.Engine) func(*store.Relation) engine.Engine) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var series []exp.Series
+	for _, p := range c.CPUSweep {
+		runtime.GOMAXPROCS(p)
+		fmt.Printf("\n-- GOMAXPROCS=%d --\n", p)
+		serialized := c.runMode(fmt.Sprintf("serialized/p=%d", p), single(engine.Serialized), false)
+		concurrent := c.runMode(fmt.Sprintf("concurrent/p=%d", p), single(engine.Concurrent), false)
+		if serialized.QPS > 0 {
+			fmt.Printf("p=%d speedup: %.2fx aggregate QPS over the serialized baseline\n",
+				p, concurrent.QPS/serialized.QPS)
+		}
+		series = append(series,
+			exp.Series{Name: fmt.Sprintf("serialized/p=%d", p), Y: serialized.Latencies,
+				Errors: serialized.Errors, CPUs: p},
+			exp.Series{Name: fmt.Sprintf("concurrent/p=%d", p), Y: concurrent.Latencies,
+				Errors: concurrent.Errors, CPUs: p,
+				ReaderWait: concurrent.ReaderWait, ReaderWaits: concurrent.ReaderWaits})
+	}
+	if c.JSONDir != "" && !c.jsonDefaulted {
+		title := fmt.Sprintf("Concurrent serving GOMAXPROCS sweep, %d clients (%d rows, warm sideways workload)",
+			c.Clients, c.Rows)
+		if err := exp.WriteSeriesJSON(c.JSONDir, "concurrent_serving_cpus",
+			title, "query (completion order)", series); err != nil {
+			fmt.Printf("json export failed: %v\n", err)
+		}
+	}
 }
 
 // runConcurrentBench is the -clients entry point.
@@ -166,6 +212,12 @@ func runConcurrentBench(c concurrentConfig) {
 			return wrap(engine.New(engine.Sideways, rel))
 		}
 	}
+
+	if len(c.CPUSweep) > 0 {
+		c.runCPUSweep(single)
+		return
+	}
+
 	serialized := c.runMode("serialized", single(engine.Serialized), false)
 	concurrent := c.runMode("concurrent", single(engine.Concurrent), false)
 	series := []exp.Series{

@@ -55,6 +55,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "partition the relation across this many independently locked engines (0 = unsharded)")
 		policy   = flag.String("policy", "", "adaptive cracking policy (default|stochastic|capped; empty = crack at query bounds only)")
 		workers  = flag.Int("workers", 0, "concurrently executing queries (0 = GOMAXPROCS)")
+		snapshot = flag.Bool("snapshot", false, "serve reads from epoch-protected snapshots (lock-free reads; selcrack engines, per shard when sharded)")
 		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		batch    = flag.Bool("batch", false, "enable admission batching of same-attribute queries")
 		rows     = flag.Int("rows", 200_000, "synthetic relation rows")
@@ -91,7 +92,7 @@ func main() {
 
 	var e engine.Engine
 	if *shards > 1 {
-		opts := shard.Options{Attr: "A"}
+		opts := shard.Options{Attr: "A", Snapshot: *snapshot}
 		if pol != nil {
 			opts.Policy = *pol
 		}
@@ -107,6 +108,7 @@ func main() {
 			Timeout:    *timeout,
 			Policy:     pol,
 			MaxWaiting: *maxWait,
+			Snapshot:   *snapshot,
 		},
 		MaxFrame:    *maxFrame,
 		MaxInflight: *maxInfl,

@@ -1,0 +1,114 @@
+package crack
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Epoch is the reclamation clock behind SnapCol's lock-free snapshot reads.
+//
+// The protocol is epoch-based reclamation with exact per-reader epochs:
+//
+//   - A reader calls Enter before loading any version pointer and Exit when
+//     it is done. Enter publishes the reader's enter-epoch in a claimed
+//     slot; the claim is a single CAS, so readers never block — not on
+//     writers, not on each other.
+//   - A writer that replaces state advances the clock and tags the retired
+//     version with the new value. Because the clock is monotone and a
+//     reader publishes its slot *before* loading the pointer, any version a
+//     reader can still hold was retired at a tag strictly greater than the
+//     reader's slot value: either the reader's claim preceded the retire
+//     (then tag = clock-at-retire + 1 > slot) or it followed it (then the
+//     pointer the reader loads is already the replacement).
+//   - A retired version whose tag is below the minimum active slot value is
+//     therefore unreachable from every live reader and safe to reclaim.
+//
+// When every slot is taken, Enter falls back to an overflow counter that
+// blocks all reclamation until the overflow readers exit — strictly
+// conservative, never unsafe. The slot array is sized so that overflow
+// requires more simultaneous pinned readers than any sane GOMAXPROCS.
+//
+// One Epoch is shared by all columns of an engine: readers pin once per
+// query, writers advance once per publish, and each column keeps its own
+// limbo list tagged against the shared clock.
+type Epoch struct {
+	clock    atomic.Uint64
+	probe    atomic.Uint64 // rotating start index for slot claims
+	overflow atomic.Int64  // readers pinned without a slot (blocks reclaim)
+	slots    [epochSlots]atomic.Uint64
+}
+
+// epochSlots bounds the number of simultaneously pinned readers that keep
+// exact epochs; further readers spill to the overflow counter.
+const epochSlots = 128
+
+// NewEpoch returns an epoch clock starting at 1 (slot value 0 means free).
+func NewEpoch() *Epoch {
+	e := &Epoch{}
+	e.clock.Store(1)
+	return e
+}
+
+// Pin is an active reader registration; pass it to Exit.
+type Pin struct{ slot int32 }
+
+// Enter registers the calling goroutine as an active reader and must be
+// called before loading a version pointer. It never blocks.
+func (e *Epoch) Enter() Pin {
+	ep := e.clock.Load()
+	start := int(e.probe.Add(1))
+	for k := 0; k < epochSlots; k++ {
+		i := (start + k) % epochSlots
+		if e.slots[i].CompareAndSwap(0, ep) {
+			return Pin{slot: int32(i)}
+		}
+	}
+	// Every slot taken: fall back to the overflow counter, which defers
+	// all reclamation until the overflow drains. Safe, just conservative.
+	e.overflow.Add(1)
+	return Pin{slot: -1}
+}
+
+// Exit releases a Pin obtained from Enter.
+func (e *Epoch) Exit(p Pin) {
+	if p.slot < 0 {
+		e.overflow.Add(-1)
+		return
+	}
+	e.slots[p.slot].Store(0)
+}
+
+// Advance bumps the epoch clock and returns the new value — the retire tag
+// for state replaced by the publish that triggered the advance.
+func (e *Epoch) Advance() uint64 { return e.clock.Add(1) }
+
+// Now returns the current epoch clock value.
+func (e *Epoch) Now() uint64 { return e.clock.Load() }
+
+// MinActive returns the smallest enter-epoch among active readers:
+// math.MaxUint64 when no reader is pinned (everything retired may be
+// reclaimed), 0 while the overflow path is in use (nothing may be).
+func (e *Epoch) MinActive() uint64 {
+	if e.overflow.Load() != 0 {
+		return 0
+	}
+	min := uint64(math.MaxUint64)
+	for i := range e.slots {
+		if v := e.slots[i].Load(); v != 0 && v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Active returns the number of currently pinned readers (slots + overflow);
+// a monitoring/test helper, inherently racy.
+func (e *Epoch) Active() int {
+	n := int(e.overflow.Load())
+	for i := range e.slots {
+		if e.slots[i].Load() != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -2,10 +2,43 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crackstore/internal/crack"
 )
+
+// ConcStats reports how a shared-safe wrapper's readers fare against
+// concurrent reorganization: how long (and how often) readers blocked
+// waiting for access, and — for snapshot engines — how many versions were
+// published and reclaimed. The zero value means "nothing observed".
+type ConcStats struct {
+	// ReaderWait is the cumulative time readers spent blocked acquiring
+	// read access (zero for lock-free snapshot readers).
+	ReaderWait time.Duration
+	// ReaderWaits counts read acquisitions that had to block.
+	ReaderWaits int64
+	// Snapshots counts versions published by writers (snapshot engine).
+	Snapshots int64
+	// Reclaimed counts retired versions whose memory was freed after all
+	// reader epochs moved past them (snapshot engine).
+	Reclaimed int64
+}
+
+// ConcObservable is implemented by shared-safe wrappers that track
+// reader/writer contention statistics.
+type ConcObservable interface {
+	ConcStats() ConcStats
+}
+
+// ConcStatsOf extracts contention statistics from e if its wrapper tracks
+// them.
+func ConcStatsOf(e Engine) (ConcStats, bool) {
+	if o, ok := e.(ConcObservable); ok {
+		return o.ConcStats(), true
+	}
+	return ConcStats{}, false
+}
 
 // Concurrent wraps an engine with the two-phase (probe/execute) locking
 // protocol so it can serve many goroutines at once.
@@ -53,6 +86,28 @@ func IsShared(e Engine) bool {
 type rwEngine struct {
 	mu sync.RWMutex
 	e  Engine
+
+	readerWaitNs atomic.Int64
+	readerWaits  atomic.Int64
+}
+
+// rlock acquires the read lock, recording time spent blocked behind a
+// writer (an uncontended acquisition costs one TryRLock).
+func (s *rwEngine) rlock() {
+	if s.mu.TryRLock() {
+		return
+	}
+	t0 := time.Now()
+	s.mu.RLock()
+	s.readerWaitNs.Add(int64(time.Since(t0)))
+	s.readerWaits.Add(1)
+}
+
+func (s *rwEngine) ConcStats() ConcStats {
+	return ConcStats{
+		ReaderWait:  time.Duration(s.readerWaitNs.Load()),
+		ReaderWaits: s.readerWaits.Load(),
+	}
 }
 
 func (s *rwEngine) Name() string { return s.e.Name() + " (concurrent)" }
@@ -68,7 +123,7 @@ func (s *rwEngine) SetCrackPolicy(pol crack.Policy) bool {
 
 func (s *rwEngine) Query(q Query) (Result, Cost) {
 	// Fast path: execute read-only under the shared lock.
-	s.mu.RLock()
+	s.rlock()
 	res, cost, ok := s.e.QueryRO(q)
 	s.mu.RUnlock()
 	if ok {
@@ -86,13 +141,13 @@ func (s *rwEngine) Query(q Query) (Result, Cost) {
 }
 
 func (s *rwEngine) Probe(q Query) bool {
-	s.mu.RLock()
+	s.rlock()
 	defer s.mu.RUnlock()
 	return s.e.Probe(q)
 }
 
 func (s *rwEngine) QueryRO(q Query) (Result, Cost, bool) {
-	s.mu.RLock()
+	s.rlock()
 	defer s.mu.RUnlock()
 	return s.e.QueryRO(q)
 }
@@ -123,16 +178,12 @@ func (s *rwEngine) Storage() int {
 
 func (s *rwEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
 	// Join selections crack both inputs; take the write lock up front.
+	// The returned fetcher needs no lock at all: every engine's JoinInput
+	// captures a snapshot of its fetch columns (base-column slice headers
+	// or a materialized intermediate), both immutable under concurrent
+	// appends. The previous per-tuple RLock/RUnlock pair here dominated
+	// wide join projections.
 	s.mu.Lock()
-	ji, cost := s.e.JoinInput(preds, joinAttr, projs)
-	s.mu.Unlock()
-	inner := ji.Fetch
-	// Post-join fetches are pure reads (base columns or materialized
-	// intermediates); a shared lock suffices.
-	ji.Fetch = func(attr string, i int) Value {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return inner(attr, i)
-	}
-	return ji, cost
+	defer s.mu.Unlock()
+	return s.e.JoinInput(preds, joinAttr, projs)
 }

@@ -301,14 +301,43 @@ func (e *scanEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string
 	t0 = time.Now()
 	jv := store.Reconstruct(e.rel.MustColumn(joinAttr), keys)
 	cost.TR = time.Since(t0)
+	// Capture the projection columns' slice headers now: base columns are
+	// append-only (deletes are tombstones), so the snapshot stays valid for
+	// every selected key even if writers append rows between fetches —
+	// which lets shared-safe wrappers hand the fetcher out lock-free.
+	fetchCols := fetchSnapshot(e.rel, projs, joinAttr)
 	return JoinInput{
 		JoinVals: jv,
 		// Post-join reconstruction prompts the full base columns: the
 		// qualifying tuples are scattered across the whole column.
 		Fetch: func(attr string, i int) Value {
-			return e.rel.MustColumn(attr).Vals[keys[i]]
+			return fetchCols.col(e.rel, attr)[keys[i]]
 		},
 	}, cost
+}
+
+// fetchCols is a snapshot of base-column slice headers captured when a
+// JoinInput fetcher is built, so post-join fetches need no lock.
+type fetchCols map[string][]Value
+
+func fetchSnapshot(rel *store.Relation, projs []string, joinAttr string) fetchCols {
+	fc := make(fetchCols, len(projs)+1)
+	for _, a := range projs {
+		fc[a] = rel.MustColumn(a).Vals
+	}
+	fc[joinAttr] = rel.MustColumn(joinAttr).Vals
+	return fc
+}
+
+// col resolves attr from the snapshot, falling back to the live column for
+// attributes outside the join's projection list (join plans never fetch
+// those; the fallback only preserves the old any-attribute behavior for
+// direct callers).
+func (fc fetchCols) col(rel *store.Relation, attr string) []Value {
+	if vals, ok := fc[attr]; ok {
+		return vals
+	}
+	return rel.MustColumn(attr).Vals
 }
 
 // ---------------------------------------------------------------------------
@@ -544,10 +573,13 @@ func (e *selCrackEngine) JoinInput(preds []AttrPred, joinAttr string, projs []st
 		jv[i] = col.Vals[int(k)]
 	}
 	cost.TR = time.Since(t0)
+	// Snapshot the projection columns so the fetcher never touches live
+	// engine state (see scanEngine.JoinInput).
+	fetchCols := fetchSnapshot(e.rel, projs, joinAttr)
 	return JoinInput{
 		JoinVals: jv,
 		Fetch: func(attr string, i int) Value {
-			return e.rel.MustColumn(attr).Vals[int(keys[i])]
+			return fetchCols.col(e.rel, attr)[int(keys[i])]
 		},
 	}, cost
 }

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"crackstore/internal/store"
+)
+
+// TestSnapshotMatchesSequentialReplay runs the banded concurrency property
+// test (see concurrent_test.go) against the Snapshot wrapper: every
+// goroutine's concurrent answers must match a sequential replay of its own
+// operations. Run with -race.
+func TestSnapshotMatchesSequentialReplay(t *testing.T) {
+	const seed = 99
+	base := buildBandedRel(seed)
+	shared := Snapshot(New(SelCrack, cloneRel(base)))
+	if _, ok := shared.(*snapEngine); !ok {
+		t.Fatalf("Snapshot(SelCrack) built %T, want *snapEngine", shared)
+	}
+
+	ops := make([][]concOp, nGoroutines)
+	for g := range ops {
+		ops[g] = bandOps(g, seed+7)
+	}
+
+	got := make([][][]Value, nGoroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = runOps(shared, g, ops[g])
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 0; g < nGoroutines; g++ {
+		want := runOps(New(SelCrack, cloneRel(base)), g, ops[g])
+		if len(want) != len(got[g]) {
+			t.Fatalf("goroutine %d: %d results, want %d", g, len(got[g]), len(want))
+		}
+		for qi := range want {
+			if !valsEqual(want[qi], got[g][qi]) {
+				t.Fatalf("goroutine %d query %d: snapshot result %v != sequential replay %v",
+					g, qi, got[g][qi], want[qi])
+			}
+		}
+	}
+}
+
+// TestSnapshotReadersNeverSeeReclaimedState is the snapshot-consistency
+// property test of the epoch protocol: N lock-free readers over static value
+// bands + one writer cracking, inserting, and deleting continuously in its
+// own band. Reader answers are precomputed (their bands never change), the
+// cracker columns run in Poison mode — reclaimed piece memory is overwritten,
+// so a piece freed while a live reader still traverses it corrupts that
+// reader's answer — and the version-lifecycle counters must show that
+// publication AND reclamation actually happened. Run with -race.
+func TestSnapshotReadersNeverSeeReclaimedState(t *testing.T) {
+	const seed = 31
+	base := buildBandedRel(seed)
+	shared := Snapshot(New(SelCrack, cloneRel(base)))
+	se := shared.(*snapEngine)
+
+	// Build the reader query set over the static bands 1..n-1 and
+	// precompute every expected answer on a sequential clone.
+	rng := rand.New(rand.NewSource(seed))
+	type check struct {
+		q    Query
+		want []Value
+	}
+	ref := New(SelCrack, cloneRel(base))
+	var checks []check
+	for g := 1; g < nGoroutines; g++ {
+		lo := int64(g * bandWidth)
+		for i := 0; i < 8; i++ {
+			qlo := lo + rng.Int63n(bandWidth-300)
+			q := Query{
+				Preds: []AttrPred{{Attr: "A", Pred: store.Range(qlo, qlo+1+rng.Int63n(250))}},
+				Projs: []string{"B"},
+			}
+			res, _ := ref.Query(q)
+			want := append([]Value(nil), res.Cols["B"]...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			checks = append(checks, check{q: q, want: want})
+		}
+	}
+
+	// Create the cracker columns, then poison reclaimed memory so a
+	// premature reclaim is observable instead of silent.
+	shared.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Range(0, 1)}}, Projs: []string{"B"}})
+	for _, c := range *se.cols.Load() {
+		c.Poison = true
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				c := checks[rng.Intn(len(checks))]
+				res, _ := shared.Query(c.q)
+				got := append([]Value(nil), res.Cols["B"]...)
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if !valsEqual(got, c.want) {
+					t.Errorf("reader answer diverged (reclaimed or torn state?): got %v, want %v", got, c.want)
+					return
+				}
+			}
+		}(int64(1000 + r))
+	}
+
+	// The writer churns band 0: every query cracks fresh ranges, inserts
+	// and deletes force pending-update merges — each publish retires state
+	// the readers may still hold.
+	writerRng := rand.New(rand.NewSource(77))
+	keys := make([]int, 0, bandRows)
+	for i := 0; i < bandRows; i++ {
+		keys = append(keys, i)
+	}
+	for i := 0; i < 400; i++ {
+		switch writerRng.Intn(5) {
+		case 0:
+			keys = append(keys, shared.Insert(writerRng.Int63n(bandWidth), writerRng.Int63n(bandWidth)))
+		case 1:
+			if len(keys) > 0 {
+				k := writerRng.Intn(len(keys))
+				shared.Delete(keys[k])
+				keys = append(keys[:k], keys[k+1:]...)
+			}
+		default:
+			qlo := writerRng.Int63n(bandWidth - 200)
+			shared.Query(Query{
+				Preds: []AttrPred{{Attr: "A", Pred: store.Range(qlo, qlo+1+writerRng.Int63n(180))}},
+				Projs: []string{"B"},
+			})
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := se.SnapshotStats()
+	if st.Published == 0 {
+		t.Fatal("writer published no versions: the test exercised nothing")
+	}
+	if st.Reclaimed == 0 {
+		t.Fatal("nothing was reclaimed: the epoch protocol was not exercised")
+	}
+	if st.Readers != 0 {
+		t.Fatalf("leaked epoch pins: %d readers still registered", st.Readers)
+	}
+}
+
+// TestSnapshotFallback pins the wrapper contract: SelCrack converts to the
+// multi-version engine, already-shared engines pass through unchanged, and
+// unsupported kinds degrade to Concurrent.
+func TestSnapshotFallback(t *testing.T) {
+	rel := buildBandedRel(3)
+	if e := Snapshot(New(SelCrack, cloneRel(rel))); e.Name() != "selection cracking (snapshot)" {
+		t.Fatalf("SelCrack snapshot engine not built: %s", e.Name())
+	}
+	if e := Snapshot(New(Scan, cloneRel(rel))); !IsShared(e) {
+		t.Fatalf("Scan fallback is not shared-safe: %T", e)
+	} else if _, ok := e.(*rwEngine); !ok {
+		t.Fatalf("Scan fallback should be Concurrent, got %T", e)
+	}
+	shared := Concurrent(New(SelCrack, cloneRel(rel)))
+	if Snapshot(shared) != shared {
+		t.Fatal("Snapshot re-wrapped an already-shared engine")
+	}
+	snap := Snapshot(New(SelCrack, cloneRel(rel)))
+	if Snapshot(snap) != snap {
+		t.Fatal("Snapshot is not idempotent")
+	}
+}
+
+// TestSnapshotConcStats checks the observability contract: the snapshot
+// wrapper reports published/reclaimed versions and zero reader-wait, the
+// Concurrent wrapper reports reader-wait fields.
+func TestSnapshotConcStats(t *testing.T) {
+	rel := buildBandedRel(5)
+	e := Snapshot(New(SelCrack, cloneRel(rel)))
+	for i := int64(0); i < 5; i++ {
+		e.Query(Query{
+			Preds: []AttrPred{{Attr: "A", Pred: store.Range(i*100, i*100+50)}},
+			Projs: []string{"B"},
+		})
+	}
+	cs, ok := ConcStatsOf(e)
+	if !ok {
+		t.Fatal("snapshot engine does not report ConcStats")
+	}
+	if cs.Snapshots == 0 {
+		t.Fatal("no snapshots counted after cracking queries")
+	}
+	if cs.ReaderWait != 0 || cs.ReaderWaits != 0 {
+		t.Fatal("lock-free readers reported blocked time")
+	}
+	if _, ok := ConcStatsOf(Concurrent(New(Scan, cloneRel(rel)))); !ok {
+		t.Fatal("Concurrent wrapper does not report ConcStats")
+	}
+}
+
+// TestSnapshotJoinInput checks the writer-path join selection and the
+// lock-free post-join fetcher against the plain engine.
+func TestSnapshotJoinInput(t *testing.T) {
+	rel := buildBandedRel(9)
+	snap := Snapshot(New(SelCrack, cloneRel(rel)))
+	plain := New(SelCrack, cloneRel(rel))
+	preds := []AttrPred{{Attr: "A", Pred: store.Range(100, 700)}}
+	ji, _ := snap.JoinInput(preds, "B", []string{"A"})
+	want, _ := plain.JoinInput(preds, "B", []string{"A"})
+	if len(ji.JoinVals) != len(want.JoinVals) {
+		t.Fatalf("join column length %d, want %d", len(ji.JoinVals), len(want.JoinVals))
+	}
+	// Concurrent appends must not disturb the captured fetcher.
+	snap.Insert(Value(150), Value(150))
+	got := make([]Value, len(ji.JoinVals))
+	exp := make([]Value, len(want.JoinVals))
+	for i := range ji.JoinVals {
+		got[i] = ji.Fetch("A", i)
+		exp[i] = want.Fetch("A", i)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(exp, func(i, j int) bool { return exp[i] < exp[j] })
+	if !valsEqual(got, exp) {
+		t.Fatal("post-join fetches diverged from the plain engine")
+	}
+}

@@ -131,6 +131,19 @@ type Series struct {
 	Hedges    int
 	Sheds     int
 	Redials   int
+	// CPUs records the GOMAXPROCS value the series ran at (a -cpus
+	// sweep); 0 means the process default and is omitted from the JSON.
+	CPUs int
+	// ReaderWait, ReaderWaits, Snapshots, and Reclaimed surface the shared
+	// engine wrapper's contention counters behind a serving series: time
+	// readers spent blocked acquiring read access and how often
+	// (Concurrent), versions published and reclaimed (Snapshot). A
+	// snapshot series with nonzero ReaderWait — or a contended Concurrent
+	// series without it — flags a broken measurement.
+	ReaderWait  time.Duration
+	ReaderWaits int64
+	Snapshots   int64
+	Reclaimed   int64
 }
 
 // printSeries prints sampled points of several aligned series and, when

@@ -31,6 +31,11 @@ type benchLineJSON struct {
 	Hedges       int     `json:"hedges,omitempty"`
 	Sheds        int     `json:"sheds,omitempty"`
 	Redials      int     `json:"redials,omitempty"`
+	CPUs         int     `json:"cpus,omitempty"`
+	ReaderWaitUs int64   `json:"reader_wait_us,omitempty"`
+	ReaderWaits  int64   `json:"reader_waits,omitempty"`
+	Snapshots    int64   `json:"snapshots,omitempty"`
+	Reclaimed    int64   `json:"reclaimed,omitempty"`
 	PerQueryUs   []int64 `json:"per_query_us"`
 	CumulativeUs []int64 `json:"cumulative_us"`
 }
@@ -73,6 +78,11 @@ func (c Config) jsonSeries(name string, title, xlabel string, series []Series) e
 			Hedges:       s.Hedges,
 			Sheds:        s.Sheds,
 			Redials:      s.Redials,
+			CPUs:         s.CPUs,
+			ReaderWaitUs: s.ReaderWait.Microseconds(),
+			ReaderWaits:  s.ReaderWaits,
+			Snapshots:    s.Snapshots,
+			Reclaimed:    s.Reclaimed,
 			PerQueryUs:   make([]int64, len(s.Y)),
 			CumulativeUs: make([]int64, len(s.Y)),
 		}

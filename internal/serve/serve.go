@@ -74,6 +74,12 @@ type Options struct {
 	// cannot wedge the callers (or a network connection's pipeline) stuck
 	// behind it.
 	Timeout time.Duration
+	// Snapshot wraps the engine in engine.Snapshot instead of
+	// engine.Concurrent: read-only queries traverse epoch-protected
+	// versioned pieces lock-free and never wait behind a crack. Engines
+	// whose kind engine.Snapshot does not support fall back to Concurrent.
+	// Ignored when the engine is already shared-safe.
+	Snapshot bool
 	// LatencyWindow bounds the retained per-query latency samples: once
 	// full, the oldest samples are overwritten, so percentiles describe a
 	// sliding window of recent queries while Queries and QPS still count
@@ -173,7 +179,11 @@ func New(e engine.Engine, opts Options) *Server {
 		engine.SetPolicy(e, *opts.Policy)
 	}
 	if !engine.IsShared(e) {
-		e = engine.Concurrent(e)
+		if opts.Snapshot {
+			e = engine.Snapshot(e)
+		} else {
+			e = engine.Concurrent(e)
+		}
 	}
 	s := &Server{e: e, opts: opts}
 	if opts.Batch {
@@ -613,6 +623,17 @@ type Stats struct {
 	// order (a copy; safe to keep) — every sample, or the retained window
 	// when Options.LatencyWindow bounds it.
 	Latencies []time.Duration
+
+	// Reader-wait observability, from the shared engine wrapper when it
+	// tracks contention (engine.ConcStatsOf). ReaderWait is cumulative
+	// time readers spent blocked acquiring read access (always zero for
+	// the lock-free Snapshot wrapper); ReaderWaits counts blocked
+	// acquisitions; Snapshots counts versions published by the Snapshot
+	// wrapper and Reclaimed the retired versions already freed.
+	ReaderWait  time.Duration
+	ReaderWaits int64
+	Snapshots   int64
+	Reclaimed   int64
 }
 
 // Stats captures a consistent snapshot of the server's counters. With
@@ -638,6 +659,12 @@ func (s *Server) Stats() Stats {
 		if st.Elapsed > 0 {
 			st.QPS = float64(total) / st.Elapsed.Seconds()
 		}
+	}
+	if cs, ok := engine.ConcStatsOf(s.e); ok {
+		st.ReaderWait = cs.ReaderWait
+		st.ReaderWaits = cs.ReaderWaits
+		st.Snapshots = cs.Snapshots
+		st.Reclaimed = cs.Reclaimed
 	}
 	return st
 }

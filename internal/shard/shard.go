@@ -52,6 +52,11 @@ type Options struct {
 	// every inner engine at construction; the zero value is the default
 	// crack-at-query-bounds behavior.
 	Policy crack.Policy
+	// Snapshot wraps every shard in engine.Snapshot instead of
+	// engine.Concurrent: per-shard lock-free snapshot reads on top of
+	// per-shard write serialization. Kinds engine.Snapshot does not
+	// support fall back to Concurrent per shard.
+	Snapshot bool
 }
 
 // location maps a global tuple key to its shard and shard-local key.
@@ -139,9 +144,29 @@ func New(kind engine.Kind, rel *store.Relation, n int, opts Options) *Engine {
 	}
 	s.shards = make([]engine.Engine, n)
 	for i := range s.shards {
-		s.shards[i] = engine.Concurrent(engine.NewWithPolicy(kind, rels[i], opts.Policy))
+		inner := engine.NewWithPolicy(kind, rels[i], opts.Policy)
+		if opts.Snapshot {
+			s.shards[i] = engine.Snapshot(inner)
+		} else {
+			s.shards[i] = engine.Concurrent(inner)
+		}
 	}
 	return s
+}
+
+// ConcStats implements engine.ConcObservable by summing the per-shard
+// wrapper statistics.
+func (s *Engine) ConcStats() engine.ConcStats {
+	var total engine.ConcStats
+	for _, sh := range s.shards {
+		if cs, ok := engine.ConcStatsOf(sh); ok {
+			total.ReaderWait += cs.ReaderWait
+			total.ReaderWaits += cs.ReaderWaits
+			total.Snapshots += cs.Snapshots
+			total.Reclaimed += cs.Reclaimed
+		}
+	}
+	return total
 }
 
 // SetCrackPolicy forwards the adaptive cracking policy to every shard,
