@@ -352,14 +352,25 @@ func (c *Client) QueryROContext(ctx context.Context, q engine.Query) (engine.Res
 	if err != nil {
 		return engine.Result{}, engine.Cost{}, false, err
 	}
+	return c.roResult(resp, t0)
+}
+
+// roResult maps a QueryRO response onto the method's return signature.
+// The codec only passes statuses it knows, so the default arm fires when
+// this client links a wire package newer than itself — protocol skew gets
+// a typed error instead of silently reading an empty result.
+func (c *Client) roResult(resp *wire.Response, t0 time.Time) (engine.Result, engine.Cost, bool, error) {
 	switch resp.Status {
 	case wire.StatusOK:
 		c.lat.record(time.Since(t0))
 		return resp.Result, resp.Cost, true, nil
 	case wire.StatusRefused:
 		return engine.Result{}, engine.Cost{}, false, nil
+	case wire.StatusErr, wire.StatusOverloaded:
+		return engine.Result{}, engine.Cost{}, false, remoteErr(resp)
+	default:
+		return engine.Result{}, engine.Cost{}, false, &UnknownStatusError{Op: resp.Op, Status: resp.Status}
 	}
-	return engine.Result{}, engine.Cost{}, false, remoteErr(resp)
 }
 
 // hedged races a primary QueryRO against a delayed duplicate. The loser is
@@ -505,6 +516,19 @@ func (c *Client) PingContext(ctx context.Context) error {
 		return remoteErr(resp)
 	}
 	return nil
+}
+
+// UnknownStatusError reports a response whose Status is not one this build
+// of the client understands — a server speaking a newer protocol revision.
+// It is typed (rather than folded into remoteErr) so callers can tell a
+// protocol-skew failure apart from an ordinary remote execution error.
+type UnknownStatusError struct {
+	Op     wire.Op
+	Status wire.Status
+}
+
+func (e *UnknownStatusError) Error() string {
+	return fmt.Sprintf("client: %v returned unknown status %d (protocol skew?)", e.Op, byte(e.Status))
 }
 
 func remoteErr(resp *wire.Response) error {

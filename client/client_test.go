@@ -114,6 +114,10 @@ func (m *miniServer) serve(nc net.Conn) {
 			resp.Result = engine.Result{N: 1, Cols: map[string][]store.Value{"B": {42}}}
 		case wire.OpInsert:
 			resp.Key = 7
+		case wire.OpDelete, wire.OpPing, wire.OpStats:
+		default:
+			resp.Status = wire.StatusErr
+			resp.Err = "miniServer: unknown op"
 		}
 		if _, err := nc.Write(wire.AppendResponse(nil, &resp)); err != nil {
 			nc.Close()
@@ -342,5 +346,31 @@ func TestPing(t *testing.T) {
 	m.closeAll()
 	if err := c.Ping(); err == nil {
 		t.Fatal("Ping against dead server succeeded")
+	}
+}
+
+// TestUnknownStatusIsTyped: a response status this client build does not
+// know (protocol skew: a newer server enum) surfaces as a typed
+// *UnknownStatusError, distinguishable from ordinary remote failures.
+func TestUnknownStatusIsTyped(t *testing.T) {
+	var c Client
+	resp := &wire.Response{Op: wire.OpQueryRO, Status: wire.Status(99)}
+	_, _, ok, err := c.roResult(resp, time.Now())
+	if ok {
+		t.Fatal("unknown status reported ok=true")
+	}
+	var use *UnknownStatusError
+	if !errors.As(err, &use) {
+		t.Fatalf("err = %v (%T), want *UnknownStatusError", err, err)
+	}
+	if use.Op != wire.OpQueryRO || use.Status != wire.Status(99) {
+		t.Fatalf("UnknownStatusError fields = %+v", use)
+	}
+	// The known statuses must not be misclassified as skew.
+	for _, st := range []wire.Status{wire.StatusOK, wire.StatusRefused, wire.StatusErr, wire.StatusOverloaded} {
+		_, _, _, err := c.roResult(&wire.Response{Op: wire.OpQueryRO, Status: st}, time.Now())
+		if errors.As(err, &use) {
+			t.Fatalf("status %d misreported as unknown", byte(st))
+		}
 	}
 }

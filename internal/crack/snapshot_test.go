@@ -28,10 +28,11 @@ func newTestSnapCol(rng *rand.Rand, n int, domain int64) (*SnapCol, *Epoch, *mod
 // gatherAll answers pred through the snapshot read path, falling back to the
 // writer path exactly like the engine does.
 func snapSelect(c *SnapCol, ep *Epoch, pred store.Pred) []Value {
-	pin := ep.Enter()
-	keys, ok := c.GatherRO(pred, nil)
-	ep.Exit(pin)
-	if ok {
+	if keys, ok := func() ([]Value, bool) {
+		pin := ep.Enter()
+		defer ep.Exit(pin)
+		return c.GatherRO(pred, nil)
+	}(); ok {
 		return keys
 	}
 	return c.Select(pred)
@@ -84,9 +85,11 @@ func TestSnapColGatherROAppliesPending(t *testing.T) {
 	c.Select(pred) // establish the cuts
 	c.Insert(4, 25)
 	c.Delete(1) // key 1 (value 20) is materialized: a pending deletion
-	pin := ep.Enter()
-	keys, ok := c.GatherRO(pred, nil)
-	ep.Exit(pin)
+	keys, ok := func() ([]Value, bool) {
+		pin := ep.Enter()
+		defer ep.Exit(pin)
+		return c.GatherRO(pred, nil)
+	}()
 	if !ok {
 		t.Fatal("GatherRO refused a cracked predicate")
 	}
@@ -150,20 +153,25 @@ func TestEpochProtocol(t *testing.T) {
 	if ep.MinActive() == 0 {
 		t.Fatal("no readers: MinActive must not block reclamation")
 	}
-	p1 := ep.Enter()
-	e1 := ep.Now()
-	tag := ep.Advance() // something retired after p1 entered
-	if tag <= e1 {
-		t.Fatalf("advance did not move the clock: tag %d, enter epoch %d", tag, e1)
-	}
-	if min := ep.MinActive(); min > e1 {
-		t.Fatalf("pinned reader invisible: MinActive %d > enter epoch %d", min, e1)
-	}
-	// The retired tag must NOT be reclaimable while p1 is pinned.
-	if tag < ep.MinActive() {
-		t.Fatal("retired state reclaimable under a live pin")
-	}
-	ep.Exit(p1)
+	// The pinned window runs in its own scope: the deferred Exit marks
+	// exactly where the reader departs.
+	tag := func() uint64 {
+		p1 := ep.Enter()
+		defer ep.Exit(p1)
+		e1 := ep.Now()
+		tag := ep.Advance() // something retired after p1 entered
+		if tag <= e1 {
+			t.Fatalf("advance did not move the clock: tag %d, enter epoch %d", tag, e1)
+		}
+		if min := ep.MinActive(); min > e1 {
+			t.Fatalf("pinned reader invisible: MinActive %d > enter epoch %d", min, e1)
+		}
+		// The retired tag must NOT be reclaimable while p1 is pinned.
+		if tag < ep.MinActive() {
+			t.Fatal("retired state reclaimable under a live pin")
+		}
+		return tag
+	}()
 	if tag >= ep.MinActive() {
 		t.Fatal("retired state still held back after the only reader exited")
 	}
@@ -173,6 +181,7 @@ func TestEpochOverflow(t *testing.T) {
 	ep := NewEpoch()
 	pins := make([]Pin, 0, epochSlots+3)
 	for i := 0; i < epochSlots+3; i++ {
+		//crackvet:ignore epochpin the overflow test must accumulate pins to exhaust the slot array
 		pins = append(pins, ep.Enter())
 	}
 	overflowed := 0
@@ -202,19 +211,21 @@ func TestSnapColReclaimWaitsForReaders(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	c, ep, _ := newTestSnapCol(rng, 1000, 1000)
 
-	pin := ep.Enter()
-	// Writer replaces state while the reader is pinned: retired pieces must
-	// stay in limbo.
-	c.Select(store.Range(100, 200))
-	c.Select(store.Range(300, 400))
-	st := c.Stats()
-	if st.Limbo == 0 {
-		t.Fatal("retired versions reclaimed under a live pin")
-	}
-	ep.Exit(pin)
+	// Writer replaces state while a reader is pinned: retired pieces must
+	// stay in limbo. The pinned window is its own scope so the deferred
+	// Exit marks exactly where the reader departs.
+	func() {
+		pin := ep.Enter()
+		defer ep.Exit(pin)
+		c.Select(store.Range(100, 200))
+		c.Select(store.Range(300, 400))
+		if st := c.Stats(); st.Limbo == 0 {
+			t.Fatal("retired versions reclaimed under a live pin")
+		}
+	}()
 	// The next publish reclaims everything the departed reader held back.
 	c.Select(store.Range(500, 600))
-	st = c.Stats()
+	st := c.Stats()
 	if st.Limbo > 1 { // only the newest retirement may still be pending
 		t.Fatalf("limbo backlog after readers left: %+v", st)
 	}
@@ -232,17 +243,19 @@ func TestSnapColPoisonCatchesUseAfterReclaim(t *testing.T) {
 	c.Poison = true
 
 	// Correct reader: pins, loads, is never corrupted.
-	pin := ep.Enter()
-	v := c.cur.Load()
-	c.Select(store.Range(100, 900)) // cracks: retires the single piece
-	for _, pc := range v.pieces {
-		for _, val := range pc.head {
-			if val == poisonValue {
-				t.Fatal("pinned reader's version was poisoned")
+	func() {
+		pin := ep.Enter()
+		defer ep.Exit(pin)
+		v := c.cur.Load()
+		c.Select(store.Range(100, 900)) // cracks: retires the single piece
+		for _, pc := range v.pieces {
+			for _, val := range pc.head {
+				if val == poisonValue {
+					t.Fatal("pinned reader's version was poisoned")
+				}
 			}
 		}
-	}
-	ep.Exit(pin)
+	}()
 
 	// Buggy reader: holds version state without a pin. After the next
 	// publish its memory is fair game and the poison must land.
@@ -280,20 +293,27 @@ func TestSnapColConcurrentReaders(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for !stop.Load() {
 				pred := randPred(rng, domain)
-				pin := ep.Enter()
-				keys, ok := c.GatherRO(pred, nil)
-				if ok {
+				// One pinned read per iteration: the closure scope keeps
+				// the defer per-iteration rather than per-goroutine.
+				if !func() bool {
+					pin := ep.Enter()
+					defer ep.Exit(pin)
+					keys, ok := c.GatherRO(pred, nil)
+					if !ok {
+						return true
+					}
 					// Touch every key while pinned; poisoned answers would
 					// surface as impossible key values.
 					for _, k := range keys {
 						if k == poisonValue {
-							ep.Exit(pin)
 							t.Error("reader observed a poisoned key: premature reclaim")
-							return
+							return false
 						}
 					}
+					return true
+				}() {
+					return
 				}
-				ep.Exit(pin)
 			}
 		}(int64(100 + r))
 	}

@@ -98,6 +98,7 @@ func (s *rwEngine) rlock() {
 		return
 	}
 	t0 := time.Now()
+	//crackvet:ignore lockpair rlock acquires for its caller; every call site pairs it with s.mu.RUnlock
 	s.mu.RLock()
 	s.readerWaitNs.Add(int64(time.Since(t0)))
 	s.readerWaits.Add(1)

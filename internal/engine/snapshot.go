@@ -243,9 +243,11 @@ func (e *snapEngine) QueryRO(q Query) (Result, Cost, bool) {
 	}
 	var cost Cost
 	t0 := time.Now()
-	pin := e.ep.Enter()
-	keys, ok := e.gatherRO(q)
-	e.ep.Exit(pin) // keys are copies; nothing references version memory now
+	keys, ok := func() ([]Value, bool) {
+		pin := e.ep.Enter()
+		defer e.ep.Exit(pin) // keys are copies; nothing references version memory after this
+		return e.gatherRO(q)
+	}()
 	if !ok {
 		return Result{}, Cost{}, false
 	}

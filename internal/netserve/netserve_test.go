@@ -434,3 +434,19 @@ func TestServeTimeoutOverWire(t *testing.T) {
 		t.Fatalf("timeout not counted in server stats: %+v", st)
 	}
 }
+
+// TestDispatchUnknownOp: an op byte the server does not implement must get
+// a StatusErr response naming the op, not a hang or a mis-framed answer.
+func TestDispatchUnknownOp(t *testing.T) {
+	s := startServer(t, engine.New(engine.Sideways, buildRel(99, 100, 100)), Options{})
+	resp := s.dispatch(&wire.Request{ID: 1, Op: wire.Op(99)}, time.Now())
+	if resp.Status != wire.StatusErr {
+		t.Fatalf("unknown op status = %d, want StatusErr", byte(resp.Status))
+	}
+	if !strings.Contains(resp.Err, "unknown op") {
+		t.Fatalf("unknown op error %q does not name the problem", resp.Err)
+	}
+	if resp.ID != 1 {
+		t.Fatalf("response ID = %d, want 1 (caller must be able to correlate)", resp.ID)
+	}
+}

@@ -1,0 +1,233 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpochPin enforces the epoch-reclamation contract around Epoch.Enter/Exit
+// (internal/crack/epoch.go): every Pin returned by Enter must be released
+// on every path out of the function that acquired it — including panic
+// edges, so a release that is not deferred may not have any potentially
+// panicking call between Enter and Exit — and a Pin must never escape the
+// acquiring function (copied into a struct, slice, channel, or another
+// call), because a pin that outlives its stack frame blocks reclamation
+// forever (slot leak) or, worse, is Exited twice.
+//
+// Matching is structural so the checker works on fixture packages too: an
+// acquire is a call to a method named Enter on a (pointer to a) named type
+// Epoch returning a single value of named type Pin; a release is the
+// matching Exit(Pin) method.
+var EpochPin = &Checker{
+	Name: "epochpin",
+	Doc:  "Epoch.Enter pins must be Exited on all paths and never escape",
+	Run:  runEpochPin,
+}
+
+// epochMethod reports whether obj is the Enter or Exit method of an Epoch
+// type (by structural shape, independent of the defining package).
+func epochMethod(obj types.Object, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Epoch" {
+		return false
+	}
+	switch name {
+	case "Enter":
+		return sig.Params().Len() == 0 && sig.Results().Len() == 1 && isNamed(sig.Results().At(0).Type(), "Pin")
+	case "Exit":
+		return sig.Params().Len() == 1 && isNamed(sig.Params().At(0).Type(), "Pin")
+	}
+	return false
+}
+
+func isNamed(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == name
+}
+
+// epochCall matches call as an Enter/Exit method call.
+func (p *Pass) epochCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return epochMethod(p.Info.Uses[sel.Sel], name)
+}
+
+func runEpochPin(pass *Pass) {
+	funcBodies(pass.Package, func(name string, body *ast.BlockStmt) {
+		epochPinBody(pass, body)
+	})
+}
+
+func epochPinBody(pass *Pass, body *ast.BlockStmt) {
+	// pinObjs: variables holding pins acquired in this body, for the
+	// escape scan.
+	pinObjs := make(map[types.Object]bool)
+
+	objKey := func(obj types.Object) string {
+		return fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+	}
+	identObj := func(id *ast.Ident) types.Object {
+		if o := pass.Info.Defs[id]; o != nil {
+			return o
+		}
+		return pass.Info.Uses[id]
+	}
+
+	exitEvent := func(call *ast.CallExpr, def bool) (event, bool) {
+		if !pass.epochCall(call, "Exit") || len(call.Args) != 1 {
+			return event{}, false
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return event{}, false
+		}
+		obj := identObj(id)
+		if obj == nil {
+			return event{}, false
+		}
+		return event{kind: evRelease, key: objKey(obj), def: def, pos: call.Pos(), call: call}, true
+	}
+
+	classify := func(stmt ast.Stmt) []event {
+		var evs []event
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && pass.epochCall(call, "Enter") {
+					if id, ok := s.Lhs[0].(*ast.Ident); ok {
+						if id.Name == "_" {
+							pass.Reportf(call.Pos(), "Epoch.Enter pin discarded: it can never be released")
+							return nil
+						}
+						if obj := identObj(id); obj != nil {
+							pinObjs[obj] = true
+							evs = append(evs, event{kind: evAcquire, key: objKey(obj), pos: call.Pos(), call: call})
+						}
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if pass.epochCall(call, "Enter") {
+					pass.Reportf(call.Pos(), "Epoch.Enter pin discarded: it can never be released")
+					return nil
+				}
+				if ev, ok := exitEvent(call, false); ok {
+					evs = append(evs, ev)
+				}
+			}
+		case *ast.DeferStmt:
+			if ev, ok := exitEvent(s.Call, true); ok {
+				evs = append(evs, ev)
+				break
+			}
+			// defer func() { ...; ep.Exit(pin); ... }()
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if ev, ok := exitEvent(call, true); ok {
+							evs = append(evs, ev)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return evs
+	}
+
+	walkFlow(pass, body, flowHooks{
+		classify: classify,
+		describe: func(key string) string { return "epoch pin" },
+		onDoubleAcquire: func(e event, prev *heldRes) {
+			pass.Reportf(e.pos, "epoch pin reacquired into the same variable before the previous pin was released")
+		},
+		onMismatch:      func(e event, prev *heldRes) {},
+		onDoubleRelease: func(e event) { pass.Reportf(e.pos, "epoch pin released twice") },
+		onLeak: func(key string, h *heldRes, at token.Pos, how string) {
+			pass.Reportf(at, "epoch pin %s: the pin from Enter leaks, blocking reclamation (use defer Exit)", how)
+		},
+		onDiverge: func(key string, h *heldRes, at token.Pos) {
+			pass.Reportf(h.pos, "epoch pin released on some paths but not others (use defer Exit)")
+		},
+		onPanicEdge: func(key string, h *heldRes, rel token.Pos) {
+			pass.Reportf(h.pos, "epoch pin released only on the non-panic edge: a call between Enter and Exit can panic and leak the pin (use defer Exit)")
+		},
+	})
+
+	// Escape scan: a pin variable may appear only on the left of an
+	// assignment (its definition) or as the argument of an Exit call —
+	// any other use copies the pin somewhere it may outlive the frame.
+	withParents(body, func(n ast.Node, parents []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			obj := identObj(x)
+			if obj == nil || !pinObjs[obj] {
+				return true
+			}
+			if len(parents) > 0 {
+				switch p := parents[len(parents)-1].(type) {
+				case *ast.CallExpr:
+					if pass.epochCall(p, "Exit") {
+						return true
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range p.Lhs {
+						if lhs == n {
+							return true
+						}
+					}
+				}
+			}
+			pass.Reportf(x.Pos(), "epoch pin %s escapes its acquiring statement (only Exit may consume a pin)", x.Name)
+		case *ast.CallExpr:
+			if !pass.epochCall(x, "Enter") {
+				return true
+			}
+			// An Enter anywhere but a simple assignment or expression
+			// statement escapes by construction (composite literal,
+			// argument, return value, ...).
+			if len(parents) > 0 {
+				switch parents[len(parents)-1].(type) {
+				case *ast.AssignStmt, *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+					return true // handled (or reported) by classify
+				}
+			}
+			pass.Reportf(x.Pos(), "Epoch.Enter result escapes (assign it to a local and release it with Exit)")
+		}
+		return true
+	})
+}
+
+// withParents walks root invoking fn with the ancestor stack (nearest
+// last); returning false prunes the subtree.
+func withParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

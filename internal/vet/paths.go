@@ -1,0 +1,446 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The path walker is the shared engine behind epochpin and lockpair: an
+// abstract interpretation of one function body that tracks a set of held
+// resources (epoch pins, mutexes) across the statement-level control flow
+// — sequencing, if/else, loops, switch/select, return — and reports
+// acquire/release pairing violations. Function literals are walked as
+// independent bodies (their statements execute at another time), and a
+// deferred release makes a resource safe on every subsequent path,
+// including panic edges.
+
+type evKind int
+
+const (
+	evAcquire evKind = iota
+	evRelease
+)
+
+// event is one acquire/release action extracted from a statement.
+type event struct {
+	kind evKind
+	key  string // resource identity, function-local
+	mode string // pairing class ("W"/"R" for locks; "" for pins)
+	def  bool   // release registered via defer
+	pos  token.Pos
+	call *ast.CallExpr // the call the event came from (excluded from dirty tracking)
+}
+
+// heldRes is one currently held resource.
+type heldRes struct {
+	mode  string
+	pos   token.Pos
+	dirty bool // a potentially panicking call executed while held
+}
+
+type flowState struct {
+	held     map[string]*heldRes
+	deferred map[string]string // key -> mode of the pending deferred release
+}
+
+func newFlowState() *flowState {
+	return &flowState{held: make(map[string]*heldRes), deferred: make(map[string]string)}
+}
+
+func (s *flowState) clone() *flowState {
+	c := newFlowState()
+	for k, h := range s.held {
+		hc := *h
+		c.held[k] = &hc
+	}
+	for k, m := range s.deferred {
+		c.deferred[k] = m
+	}
+	return c
+}
+
+// flowHooks parameterizes the walker per checker. Nil hooks disable the
+// corresponding report.
+type flowHooks struct {
+	// classify extracts the acquire/release events of one simple statement.
+	classify func(stmt ast.Stmt) []event
+	// describe renders a resource key for messages ("epoch pin p", "s.mu").
+	describe func(key string) string
+
+	onDoubleAcquire func(e event, prev *heldRes)
+	onMismatch      func(e event, prev *heldRes)
+	onDoubleRelease func(e event)
+	// onLeak reports a resource still held when a path leaves the function
+	// (at == return position, or the acquire position on fall-through and
+	// loop-iteration leaks).
+	onLeak func(key string, h *heldRes, at token.Pos, how string)
+	// onDiverge reports a resource held on some but not all merging
+	// branches — released (or acquired) on one path only.
+	onDiverge func(key string, h *heldRes, at token.Pos)
+	// onPanicEdge, when non-nil, reports a non-deferred release that only
+	// covers the normal edge: a call executed while the resource was held,
+	// so a panic would leak it. Used by epochpin (pins must survive panic
+	// edges); lockpair leaves it nil (a panic with a lock held is fatal
+	// anyway).
+	onPanicEdge func(key string, h *heldRes, rel token.Pos)
+}
+
+type flowWalker struct {
+	pass  *Pass
+	hooks flowHooks
+}
+
+func walkFlow(pass *Pass, body *ast.BlockStmt, hooks flowHooks) {
+	w := &flowWalker{pass: pass, hooks: hooks}
+	st := newFlowState()
+	if !w.walkStmts(body.List, st) {
+		for k, h := range st.held {
+			if _, ok := st.deferred[k]; !ok {
+				w.hooks.onLeak(k, h, h.pos, "not released before the function returns")
+			}
+		}
+	}
+}
+
+// walkStmts interprets a statement list; true means every path through the
+// list terminates (return/panic/branch) before falling off the end.
+func (w *flowWalker) walkStmts(stmts []ast.Stmt, st *flowState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) walkStmt(s ast.Stmt, st *flowState) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		w.markDirty(s, nil, st)
+		for k, h := range st.held {
+			if _, ok := st.deferred[k]; !ok {
+				w.hooks.onLeak(k, h, s.Pos(), "still held at return")
+			}
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: drop the path rather than model the jump.
+		return true
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.markDirty(s.Cond, nil, st)
+		bodySt := st.clone()
+		bodyTerm := w.walkStmts(s.Body.List, bodySt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		return w.merge(st, s.End(), []branchOut{{bodySt, bodyTerm}, {elseSt, elseTerm}})
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.markDirty(s.Cond, nil, st)
+		w.loopBody(s.Body, st)
+		return false
+
+	case *ast.RangeStmt:
+		w.markDirty(s.X, nil, st)
+		w.loopBody(s.Body, st)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.markDirty(s.Tag, nil, st)
+		return w.clauses(s.Body, st, s.End(), false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		return w.clauses(s.Body, st, s.End(), false)
+
+	case *ast.SelectStmt:
+		// A select with no default blocks until one clause runs, but for
+		// pairing purposes clauses merge exactly like switch cases.
+		return w.clauses(s.Body, st, s.End(), true)
+
+	case *ast.DeferStmt:
+		w.apply(w.hooks.classify(s), s, st)
+		return false
+
+	case *ast.GoStmt:
+		// The spawned body runs later (walked separately as a FuncLit);
+		// the call expression itself may panic while resources are held.
+		w.markDirty(s, nil, st)
+		return false
+
+	default:
+		evs := w.hooks.classify(s)
+		w.apply(evs, s, st)
+		return w.isTerminator(s)
+	}
+}
+
+func (w *flowWalker) loopBody(body *ast.BlockStmt, st *flowState) {
+	pre := st.clone()
+	bodySt := st.clone()
+	w.walkStmts(body.List, bodySt)
+	// A resource acquired inside the iteration and still held at its end
+	// leaks once per pass around the loop.
+	for k, h := range bodySt.held {
+		if _, was := pre.held[k]; !was {
+			if _, ok := bodySt.deferred[k]; !ok {
+				w.hooks.onLeak(k, h, h.pos, "acquired in a loop and not released by the end of the iteration")
+			}
+		}
+	}
+	// Continue after the loop from the zero-iteration state.
+	*st = *pre
+}
+
+type branchOut struct {
+	st   *flowState
+	term bool
+}
+
+// clauses walks each case/comm clause of body as a branch and merges.
+func (w *flowWalker) clauses(body *ast.BlockStmt, st *flowState, end token.Pos, isSelect bool) bool {
+	var outs []branchOut
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			bs := st.clone()
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, bs)
+			}
+			outs = append(outs, branchOut{bs, w.walkStmts(c.Body, bs)})
+			continue
+		}
+		bs := st.clone()
+		outs = append(outs, branchOut{bs, w.walkStmts(stmts, bs)})
+	}
+	if !hasDefault && !isSelect {
+		// The tag may match no case: the fall-through state is a branch too.
+		outs = append(outs, branchOut{st.clone(), false})
+	}
+	if len(outs) == 0 {
+		return false
+	}
+	return w.merge(st, end, outs)
+}
+
+// merge folds branch out-states back into st; true when every branch
+// terminated. A resource held in some but not all surviving branches is
+// reported as a divergence and dropped (so one bug draws one report).
+func (w *flowWalker) merge(st *flowState, at token.Pos, outs []branchOut) bool {
+	var live []*flowState
+	for _, o := range outs {
+		if !o.term {
+			live = append(live, o.st)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	held := make(map[string]*heldRes)
+	for k, h := range live[0].held {
+		inAll := true
+		dirty := h.dirty
+		for _, o := range live[1:] {
+			oh, ok := o.held[k]
+			if !ok {
+				inAll = false
+				break
+			}
+			dirty = dirty || oh.dirty
+		}
+		if inAll {
+			hc := *h
+			hc.dirty = dirty
+			held[k] = &hc
+		}
+	}
+	for _, o := range live {
+		for k, h := range o.held {
+			if _, ok := held[k]; ok {
+				continue
+			}
+			if _, pending := o.deferred[k]; pending {
+				continue
+			}
+			w.hooks.onDiverge(k, h, at)
+		}
+	}
+	deferred := make(map[string]string)
+	for k, m := range live[0].deferred {
+		inAll := true
+		for _, o := range live[1:] {
+			if _, ok := o.deferred[k]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			deferred[k] = m
+		}
+	}
+	st.held = held
+	st.deferred = deferred
+	return false
+}
+
+// apply interprets one statement's events against the state, then marks
+// held resources dirty if the statement contains any other call.
+func (w *flowWalker) apply(evs []event, stmt ast.Stmt, st *flowState) {
+	eventCalls := make(map[*ast.CallExpr]bool, len(evs))
+	for _, e := range evs {
+		if e.call != nil {
+			eventCalls[e.call] = true
+		}
+	}
+	// Dirty first: a call in the same statement as a release (e.g.
+	// `x := f(); mu.Unlock()` can't share a statement, but
+	// `v := decode(p.Load())` can) executes before the event applies only
+	// for acquire-producing calls; keeping the conservative order (dirty
+	// before releases, after nothing) over-reports nothing in practice
+	// because release statements are bare calls.
+	w.markDirty(stmt, eventCalls, st)
+	for _, e := range evs {
+		switch e.kind {
+		case evAcquire:
+			if prev, ok := st.held[e.key]; ok {
+				w.hooks.onDoubleAcquire(e, prev)
+				continue
+			}
+			if _, pending := st.deferred[e.key]; pending {
+				w.hooks.onDoubleAcquire(e, &heldRes{mode: st.deferred[e.key], pos: e.pos})
+				continue
+			}
+			st.held[e.key] = &heldRes{mode: e.mode, pos: e.pos}
+		case evRelease:
+			prev, ok := st.held[e.key]
+			if !ok {
+				if _, pending := st.deferred[e.key]; pending && !e.def {
+					w.hooks.onDoubleRelease(e)
+				}
+				if e.def {
+					// Deferred release with no visible acquire yet: arm it
+					// so a later acquire in this function is covered.
+					st.deferred[e.key] = e.mode
+				}
+				continue
+			}
+			if prev.mode != e.mode {
+				w.hooks.onMismatch(e, prev)
+			}
+			delete(st.held, e.key)
+			if e.def {
+				st.deferred[e.key] = e.mode
+			} else if prev.dirty && w.hooks.onPanicEdge != nil {
+				w.hooks.onPanicEdge(e.key, prev, e.pos)
+			}
+		}
+	}
+}
+
+// markDirty flags every held resource when n contains a call that could
+// panic — any call except the statement's own classified events, type
+// conversions, and panic-free builtins.
+func (w *flowWalker) markDirty(n ast.Node, eventCalls map[*ast.CallExpr]bool, st *flowState) {
+	if n == nil || len(st.held) == 0 {
+		return
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false // runs later, not on this edge
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if eventCalls[call] {
+			return true
+		}
+		if tv, ok := w.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "len", "cap", "append", "copy", "delete", "new", "min", "max":
+				if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		found = true
+		return false
+	})
+	if found {
+		for _, h := range st.held {
+			h.dirty = true
+		}
+	}
+}
+
+// isTerminator reports statements that end the path without a return:
+// panic, os.Exit/runtime.Goexit/log.Fatal* (package-level), and the
+// testing.T family (Fatal, Fatalf, FailNow, Skip*, which stop the test
+// goroutine). Method calls named Exit on ordinary values (e.g.
+// Epoch.Exit) are NOT terminators — only package functions are.
+func (w *flowWalker) isTerminator(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isPkg := w.pass.Info.Uses[id].(*types.PkgName)
+		switch fun.Sel.Name {
+		case "Exit", "Goexit", "Fatalln":
+			return isPkg // os.Exit, runtime.Goexit, log.Fatalln
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true // log.Fatal* or (*testing.T) — both end the path
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Fixture proving the suite is quiet on idiomatic code: epoch pins behind
+// defer, paired locks, copy-then-publish version replacement.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Pin struct{ slot int32 }
+
+type Epoch struct{ n int }
+
+func (e *Epoch) Enter() Pin { e.n++; return Pin{} }
+func (e *Epoch) Exit(p Pin) { e.n-- }
+
+type version struct {
+	vals []int64
+}
+
+type store struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[version]
+	ep  Epoch
+}
+
+func work() {}
+
+func (s *store) read() int64 {
+	pin := s.ep.Enter()
+	defer s.ep.Exit(pin)
+	v := s.cur.Load()
+	if len(v.vals) == 0 {
+		return 0
+	}
+	return v.vals[0]
+}
+
+func (s *store) replace(vals []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := &version{vals: append([]int64(nil), vals...)}
+	s.cur.Store(next)
+}
+
+func (s *store) bump() {
+	s.mu.Lock()
+	work()
+	s.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Fixture for the detrand checker (the package is named crack so the
+// deterministic-kernel rule applies, exactly as in the repo).
+package crack
+
+import (
+	"math/rand"
+	"time"
+)
+
+// okSeeded: an explicitly seeded local generator is deterministic.
+func okSeeded(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "global rand.Intn"
+}

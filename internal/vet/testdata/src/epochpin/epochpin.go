@@ -1,0 +1,89 @@
+// Fixture for the epochpin checker: a structural stand-in for
+// internal/crack's Epoch/Pin pair, with one function per violation class
+// and the legal patterns alongside them.
+package epochpin
+
+type Pin struct{ slot int32 }
+
+type Epoch struct{ n int }
+
+func (e *Epoch) Enter() Pin { e.n++; return Pin{} }
+func (e *Epoch) Exit(p Pin) { e.n-- }
+
+func work() {}
+
+// deferredOK is the canonical pattern: the pin survives every edge.
+func deferredOK(ep *Epoch) {
+	pin := ep.Enter()
+	defer ep.Exit(pin)
+	work()
+}
+
+// immediateOK: nothing that can panic runs while the pin is held, so a
+// non-deferred release is sound.
+func immediateOK(ep *Epoch) {
+	pin := ep.Enter()
+	ep.Exit(pin)
+}
+
+func deferredLitOK(ep *Epoch) {
+	pin := ep.Enter()
+	defer func() {
+		work()
+		ep.Exit(pin)
+	}()
+	work()
+}
+
+func discarded(ep *Epoch) {
+	ep.Enter() // want "pin discarded"
+}
+
+func discardedBlank(ep *Epoch) {
+	_ = ep.Enter() // want "pin discarded"
+}
+
+func earlyReturn(ep *Epoch, b bool) {
+	pin := ep.Enter()
+	if b {
+		return // want "still held at return"
+	}
+	ep.Exit(pin)
+}
+
+func divergePaths(ep *Epoch, b bool) {
+	pin := ep.Enter() // want "released on some paths but not others"
+	if b {
+		ep.Exit(pin)
+	}
+}
+
+func panicEdge(ep *Epoch) {
+	pin := ep.Enter() // want "non-panic edge"
+	work()
+	ep.Exit(pin)
+}
+
+func reacquired(ep *Epoch) {
+	pin := ep.Enter()
+	pin = ep.Enter() // want "reacquired"
+	ep.Exit(pin)
+}
+
+func releasedTwice(ep *Epoch) {
+	pin := ep.Enter()
+	defer ep.Exit(pin)
+	ep.Exit(pin) // want "released twice"
+}
+
+type holder struct{ p Pin }
+
+func escapesToStruct(ep *Epoch, h *holder) {
+	pin := ep.Enter()
+	h.p = pin // want "escapes its acquiring statement"
+	ep.Exit(pin)
+}
+
+func enterEscapes(ep *Epoch) []Pin {
+	return []Pin{ep.Enter()} // want "Enter result escapes"
+}

@@ -1,0 +1,42 @@
+// Fixture for the exhaustive checker's engine.Kind coverage (the package
+// is named engine so the enum reads engine.Kind, exactly as in the repo).
+package engine
+
+type Kind int
+
+const (
+	Scan Kind = iota
+	Crack
+	Sideways
+)
+
+func name(k Kind) string {
+	switch k { // want "misses Sideways and has no default arm"
+	case Scan:
+		return "scan"
+	case Crack:
+		return "crack"
+	}
+	return ""
+}
+
+func okDefaultArm(k Kind) string {
+	switch k {
+	case Scan:
+		return "scan"
+	default:
+		return "?"
+	}
+}
+
+func okFullCoverage(k Kind) string {
+	switch k {
+	case Scan:
+		return "scan"
+	case Crack:
+		return "crack"
+	case Sideways:
+		return "sideways"
+	}
+	return ""
+}

@@ -1,0 +1,72 @@
+// Fixture for the lockpair checker: per-path Lock/Unlock and
+// RLock/RUnlock pairing over sync.Mutex and sync.RWMutex fields.
+package lockpair
+
+import "sync"
+
+type S struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	n   int
+}
+
+func work() {}
+
+func (s *S) deferredOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func (s *S) inlineOK() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *S) deferredLitOK() {
+	s.rmu.RLock()
+	defer func() {
+		work()
+		s.rmu.RUnlock()
+	}()
+	work()
+}
+
+func (s *S) bothModesOK() {
+	s.rmu.RLock()
+	s.rmu.RUnlock()
+	s.rmu.Lock()
+	s.rmu.Unlock()
+}
+
+func (s *S) leakOnReturn(b bool) {
+	s.mu.Lock()
+	if b {
+		return // want "still held at return"
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) leakToEnd() {
+	s.mu.Lock() // want "not released before the function returns"
+	s.n++
+}
+
+func (s *S) doubleAcquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want "self-deadlocks"
+	s.mu.Unlock()
+}
+
+func (s *S) modeMismatch() {
+	s.rmu.Lock()
+	s.rmu.RUnlock() // want "released with RUnlock but was acquired with Lock"
+}
+
+func (s *S) divergingPaths(b bool) {
+	s.rmu.RLock() // want "released on some paths but still held on others"
+	if b {
+		s.rmu.RUnlock()
+	}
+}

@@ -1,0 +1,26 @@
+// Fixture for //crackvet:ignore handling: a correctly named pragma
+// suppresses (and is counted), a wrong checker name does not.
+package pragma
+
+type Pin struct{ slot int32 }
+
+type Epoch struct{ n int }
+
+func (e *Epoch) Enter() Pin { e.n++; return Pin{} }
+func (e *Epoch) Exit(p Pin) { e.n-- }
+
+func work() {}
+
+func suppressed(ep *Epoch) {
+	//crackvet:ignore epochpin fixture exercising the suppression pragma
+	pin := ep.Enter()
+	work()
+	ep.Exit(pin)
+}
+
+func wrongCheckerName(ep *Epoch) {
+	//crackvet:ignore lockpair a wrong checker name must not silence epochpin
+	pin := ep.Enter() // want "non-panic edge"
+	work()
+	ep.Exit(pin)
+}

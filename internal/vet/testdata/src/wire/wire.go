@@ -1,0 +1,106 @@
+// Fixture for the wirebounds and exhaustive checkers: a miniature wire
+// package with a consumeLen-style bounded count decoder, decode-side
+// preallocations, and switches over the Op/Status enums.
+package wire
+
+type Op byte
+
+const (
+	OpQuery  Op = 1
+	OpInsert Op = 2
+	OpPing   Op = 3
+)
+
+type Status byte
+
+const (
+	StatusOK  Status = 0
+	StatusErr Status = 1
+)
+
+// consumeLen decodes a count and refuses any value exceeding what the
+// remaining input could possibly hold (minSize bytes per element).
+func consumeLen(b []byte, minSize int) (int, []byte, bool) {
+	if len(b) == 0 {
+		return 0, b, false
+	}
+	n := int(b[0])
+	if n > len(b[1:])/minSize {
+		return 0, b, false
+	}
+	return n, b[1:], true
+}
+
+func okBounded(b []byte) []int64 {
+	n, rest, ok := consumeLen(b, 8)
+	if !ok {
+		return nil
+	}
+	_ = rest
+	return make([]int64, n)
+}
+
+// okGuarded mirrors the frame-header path: the length is validated against
+// an explicit limit before any payload exists to measure it against.
+func okGuarded(b []byte, maxFrame int) []byte {
+	n := int(b[0])
+	if uint64(n) > uint64(maxFrame) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func okFromLen(b []byte) []byte {
+	dst := make([]byte, len(b))
+	copy(dst, b)
+	return dst
+}
+
+func okConstant() []int {
+	return make([]int, 16)
+}
+
+func badUnbounded(b []byte) []int64 {
+	n := int(b[0])
+	return make([]int64, n) // want "preallocation size"
+}
+
+func badMapPrealloc(b []byte) map[int]int {
+	n := int(b[0])
+	return make(map[int]int, n) // want "preallocation size"
+}
+
+func describeOp(op Op) string {
+	switch op { // want "misses OpPing and has no default arm"
+	case OpQuery:
+		return "query"
+	case OpInsert:
+		return "insert"
+	}
+	return "?"
+}
+
+func okDefaultArm(op Op) string {
+	switch op {
+	case OpQuery:
+		return "query"
+	default:
+		return "other"
+	}
+}
+
+func okFullCoverage(st Status) string {
+	switch st {
+	case StatusOK:
+		return "ok"
+	case StatusErr:
+		return "err"
+	}
+	return ""
+}
+
+func badEmptySwitch(st Status) int {
+	switch st { // want "misses StatusErr, StatusOK and has no default arm"
+	}
+	return 0
+}
