@@ -13,6 +13,7 @@ import (
 	"crackstore/internal/shard"
 	"crackstore/internal/sideways"
 	"crackstore/internal/store"
+	"crackstore/internal/wal"
 )
 
 // Core types, re-exported from the kernel and engine layers.
@@ -265,6 +266,58 @@ func ConcurrencyStats(e Engine) (engine.ConcStats, bool) { return engine.ConcSta
 // compatibility; call Concurrent directly in new code, or Serialized for
 // the fully serialized baseline.
 func Synchronized(e Engine) Engine { return engine.Synchronized(e) }
+
+// DurableOptions configures OpenDurable: WAL fsync mode (WALSyncGroup /
+// WALSyncAlways / WALSyncNone), checkpoint rotation threshold, cracking
+// policy, and a file-wrapping hook for fault injection.
+type DurableOptions = engine.DurableOptions
+
+// DurabilityStatsReport is the durability counter snapshot of a durable
+// engine: recovery outcome (clean vs replayed, records and bytes applied,
+// torn tail truncated), crack-tape length, checkpoints written, WAL size,
+// and write/fsync activity.
+type DurabilityStatsReport = engine.DurStats
+
+// WALSync selects when an acked write becomes durable (see the Durability
+// section of the package documentation).
+type WALSync = wal.SyncMode
+
+// WAL sync modes.
+const (
+	// WALSyncGroup (default): acks wait for an fsync covering their
+	// record; concurrent writers share fsyncs (group commit).
+	WALSyncGroup = wal.SyncGroup
+	// WALSyncAlways: eager fsync per record; same loss guarantee as group
+	// commit, more syscalls for a strictly serial writer.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncNone: acks never wait; a crash may lose the acked tail.
+	WALSyncNone = wal.SyncNone
+)
+
+// ParseWALSync parses "group", "always" or "none" (the -fsync flag values).
+func ParseWALSync(s string) (WALSync, error) { return wal.ParseSyncMode(s) }
+
+// OpenDurable opens (or creates) a durable engine backed by data directory
+// dir: every acked Insert/Delete is written to a CRC-framed write-ahead
+// log before it is applied, reorganizing queries are recorded on a crack
+// tape, and periodic checkpoints snapshot base columns + tombstones + tape
+// atomically. For a fresh directory, rel seeds the store; on recovery, rel
+// is ignored — the relation is rebuilt from the checkpoint, the tape is
+// replayed so the adaptive layout comes back warm, and the WAL tail is
+// applied (torn tail truncated). The returned engine is shared-safe (no
+// Concurrent wrapper needed) and should be closed with CloseDurable.
+func OpenDurable(kind Kind, rel *Relation, dir string, opts DurableOptions) (Engine, error) {
+	return engine.OpenDurable(kind, rel, dir, opts)
+}
+
+// CloseDurable flushes, checkpoints, and closes a durable engine, marking
+// the shutdown clean so the next OpenDurable skips replay entirely. ok is
+// false when e is not a durable engine.
+func CloseDurable(e Engine) (ok bool, err error) { return engine.CloseDurable(e) }
+
+// DurabilityStats reports a durable engine's durability counters; ok is
+// false when e is not durable.
+func DurabilityStats(e Engine) (s DurabilityStatsReport, ok bool) { return engine.DurStatsOf(e) }
 
 // ShardOptions tunes a sharded engine: partition attribute and hash
 // fallback.

@@ -1,0 +1,367 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"crackstore/client"
+	"crackstore/internal/engine"
+	"crackstore/internal/exp"
+	"crackstore/internal/store"
+	"crackstore/internal/wal"
+	"crackstore/internal/workload"
+)
+
+// durableConfig drives the -durable mode: the warm-restart benchmark of
+// the durability subsystem. It cracks a durable store with a query pool,
+// closes it cleanly, reopens it, and fires the same pool again — against a
+// cold from-scratch engine answering the identical queries — so the
+// artifact pins the claim that recovery replays the crack tape and the
+// reopened store answers its first queries at warm speed instead of
+// re-paying every crack. A second panel measures per-insert ack latency
+// under each -fsync mode (none / group with concurrent writers / always),
+// pinning the group-commit win: fsyncs shared across writers instead of
+// one syscall per ack.
+type durableConfig struct {
+	Rows    int
+	Queries int // pool size; the measured battery replays the pool once
+	Sel     float64
+	Seed    int64
+	JSONDir string
+	Inserts int // per fsync-mode series
+	Writers int // concurrent writers in the group-commit series
+}
+
+func (c durableConfig) withDefaults() durableConfig {
+	if c.Rows <= 0 {
+		c.Rows = 200_000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 256
+	}
+	if c.Sel <= 0 {
+		c.Sel = 0.0002
+	}
+	if c.Inserts <= 0 {
+		c.Inserts = 1500
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.JSONDir == "" {
+		// The durability series is this mode's artifact; emit it next to
+		// the committed baselines unless told otherwise.
+		c.JSONDir = "bench"
+	}
+	return c
+}
+
+func (c durableConfig) buildRelation() *store.Relation {
+	rng := rand.New(rand.NewSource(c.Seed))
+	domain := int64(c.Rows)
+	return store.Build("R", c.Rows, []string{"A", "B", "C"}, func(string, int) store.Value {
+		return rng.Int63n(domain) + 1
+	})
+}
+
+func (c durableConfig) queryPool() []engine.Query {
+	gen := workload.New(int64(c.Rows), c.Seed+1)
+	pool := make([]engine.Query, c.Queries)
+	for i := range pool {
+		pool[i] = engine.Query{
+			Preds: []engine.AttrPred{{Attr: "A", Pred: gen.Range(c.Sel)}},
+			Projs: []string{"B"},
+		}
+	}
+	return pool
+}
+
+// battery fires the pool once in order, returning per-query latencies.
+func battery(e engine.Engine, pool []engine.Query) []time.Duration {
+	lats := make([]time.Duration, len(pool))
+	for i, q := range pool {
+		t0 := time.Now()
+		e.Query(q)
+		lats[i] = time.Since(t0)
+	}
+	return lats
+}
+
+// insertSeries opens a fresh durable store under mode and measures the
+// ack latency of every insert across `writers` goroutines, returning the
+// latencies plus the fsync count the run cost.
+func (c durableConfig) insertSeries(mode wal.SyncMode, writers int) ([]time.Duration, int64) {
+	dir, err := os.MkdirTemp("", "crackbench-durable-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	e, err := engine.OpenDurable(engine.SelCrack, c.buildRelation(), dir,
+		engine.DurableOptions{Sync: mode})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: open durable: %v\n", err)
+		os.Exit(1)
+	}
+	per := c.Inserts / writers
+	latCh := make(chan []time.Duration, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				v := store.Value(1 + (w*per+i)%c.Rows)
+				t0 := time.Now()
+				if key := e.Insert(v, v, v); key < 0 {
+					fmt.Fprintf(os.Stderr, "crackbench: durable insert refused (fsync=%s)\n", mode)
+					os.Exit(1)
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latCh <- lats
+		}(w)
+	}
+	wg.Wait()
+	close(latCh)
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	ds, _ := engine.DurStatsOf(e)
+	engine.CloseDurable(e)
+	return all, ds.Wal.Fsyncs
+}
+
+// runDurableBench is the -durable entry point.
+func runDurableBench(c durableConfig) {
+	c = c.withDefaults()
+	pool := c.queryPool()
+	fmt.Printf("== durability: warm restart vs cold rebuild (%d rows, %d-query pool) + fsync-mode ack latency (%d inserts) ==\n",
+		c.Rows, c.Queries, c.Inserts)
+
+	// Crack a durable store with the whole pool, then close it cleanly.
+	dir, err := os.MkdirTemp("", "crackbench-durable-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	e, err := engine.OpenDurable(engine.SelCrack, c.buildRelation(), dir,
+		engine.DurableOptions{Sync: wal.SyncGroup})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: open durable: %v\n", err)
+		os.Exit(1)
+	}
+	for _, q := range pool {
+		e.Query(q)
+	}
+	if _, err := engine.CloseDurable(e); err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: close durable: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Warm restart: recovery replays the crack tape, so the pool's ranges
+	// are already cracked when the first query arrives.
+	runtime.GC()
+	t0 := time.Now()
+	e, err = engine.OpenDurable(engine.SelCrack, nil, dir, engine.DurableOptions{Sync: wal.SyncGroup})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: reopen durable: %v\n", err)
+		os.Exit(1)
+	}
+	openTime := time.Since(t0)
+	ds, _ := engine.DurStatsOf(e)
+	warm := battery(e, pool)
+	engine.CloseDurable(e)
+
+	// Cold rebuild: a fresh engine over the same relation pays every crack
+	// in the measured battery.
+	runtime.GC()
+	cold := battery(engine.New(engine.SelCrack, c.buildRelation()), pool)
+
+	fmt.Printf("%-28s open=%-10v battery=%-10v (tape=%d cracks, clean=%v)\n",
+		"warm restart", openTime.Round(time.Millisecond), sum(warm).Round(time.Microsecond), ds.TapeLen, ds.CleanShutdown)
+	fmt.Printf("%-28s open=%-10s battery=%-10v\n", "cold rebuild", "-", sum(cold).Round(time.Microsecond))
+	if w, cd := sum(warm), sum(cold); w > 0 {
+		fmt.Printf("cold/warm first-query-battery ratio: %.1fx\n", float64(cd)/float64(w))
+	}
+
+	// Ack latency per fsync mode. SyncNone never waits, SyncAlways pays a
+	// sync per ack, SyncGroup shares syncs across concurrent writers.
+	none, noneFs := c.insertSeries(wal.SyncNone, 1)
+	always, alwaysFs := c.insertSeries(wal.SyncAlways, 1)
+	group, groupFs := c.insertSeries(wal.SyncGroup, c.Writers)
+	fmt.Printf("%-28s total=%-10v fsyncs=%d\n", "insert fsync=none", sum(none).Round(time.Microsecond), noneFs)
+	fmt.Printf("%-28s total=%-10v fsyncs=%d\n", "insert fsync=always", sum(always).Round(time.Microsecond), alwaysFs)
+	fmt.Printf("%-28s total=%-10v fsyncs=%d (%d writers, group commit)\n",
+		"insert fsync=group", sum(group).Round(time.Microsecond), groupFs, c.Writers)
+
+	title := fmt.Sprintf("Durable cracking (%d rows): warm restart answers the %d-query pool in %v vs %v cold; group commit spent %d fsyncs on %d acked inserts",
+		c.Rows, c.Queries, sum(warm).Round(time.Microsecond), sum(cold).Round(time.Microsecond), groupFs, c.Inserts/c.Writers*c.Writers)
+	series := []exp.Series{
+		{Name: "cold rebuild (first queries)", Y: cold},
+		{Name: "warm restart (first queries)", Y: warm},
+		{Name: "insert fsync=none", Y: none},
+		{Name: "insert fsync=always", Y: always},
+		{Name: fmt.Sprintf("insert fsync=group (%d writers)", c.Writers), Y: group},
+	}
+	meta := map[string]string{
+		"rows":          fmt.Sprint(c.Rows),
+		"pool":          fmt.Sprint(c.Queries),
+		"selectivity":   fmt.Sprint(c.Sel),
+		"seed":          fmt.Sprint(c.Seed),
+		"warm_open_us":  fmt.Sprint(openTime.Microseconds()),
+		"tape_cracks":   fmt.Sprint(ds.TapeLen),
+		"fsyncs_none":   fmt.Sprint(noneFs),
+		"fsyncs_always": fmt.Sprint(alwaysFs),
+		"fsyncs_group":  fmt.Sprint(groupFs),
+		"group_writers": fmt.Sprint(c.Writers),
+	}
+	if err := exp.WriteSeriesJSONMeta(c.JSONDir, "durability",
+		title, "query / insert (issue order)", meta, series); err != nil {
+		fmt.Printf("json export failed: %v\n", err)
+	}
+}
+
+// durableState is the acked-write manifest the -durable-smoke run leaves
+// for -durable-verify: which sentinel inserts the daemon acknowledged
+// before it was killed. Sentinel values live far outside the synthetic
+// relation's [1, rows] domain, so point queries over them count only
+// smoke-run inserts.
+type durableState struct {
+	Base      int64   `json:"base"`      // sentinel value of insert 0
+	Submitted int     `json:"submitted"` // inserts sent (acked or not)
+	Acked     []int64 `json:"acked"`     // sentinel values the daemon acked
+}
+
+const durableSentinelBase = int64(1) << 40
+
+// runDurableSmoke churns a crackserved daemon with sentinel inserts and
+// interleaved range queries until the daemon dies (the CI crash job
+// SIGKILLs it mid-churn) or the insert budget runs out, then writes the
+// acked manifest. Exits nonzero only when not a single insert was acked —
+// that means the run never overlapped a live daemon and the crash test
+// proved nothing.
+func runDurableSmoke(addr, statePath string, rows int, seed int64) {
+	if rows <= 0 {
+		rows = 200_000
+	}
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: dial %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	gen := workload.New(int64(rows), seed+1)
+	st := durableState{Base: durableSentinelBase}
+	const maxInserts = 200_000
+	for i := 0; i < maxInserts; i++ {
+		s := durableSentinelBase + int64(i)
+		st.Submitted++
+		key, err := cl.Insert(store.Value(s), store.Value(s), store.Value(s))
+		if err != nil {
+			// Connection torn mid-call: the daemon is gone (or dying);
+			// this insert may or may not have landed — it is NOT acked.
+			break
+		}
+		if key < 0 {
+			// In-band refusal: the daemon's WAL rejected the write before
+			// it was applied. Not acked, daemon still alive.
+			continue
+		}
+		st.Acked = append(st.Acked, s)
+		if i%8 == 0 {
+			// Interleaved queries crack server-side, so the kill also
+			// lands mid-reorganization, not just mid-append.
+			if _, _, err := cl.Query(engine.Query{
+				Preds: []engine.AttrPred{{Attr: "A", Pred: gen.Range(0.001)}},
+				Projs: []string{"B"},
+			}); err != nil {
+				break
+			}
+		}
+	}
+	data, err := json.Marshal(st)
+	if err == nil {
+		err = os.WriteFile(statePath, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: write %s: %v\n", statePath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("crackbench: durable smoke: %d submitted, %d acked before the daemon went away\n",
+		st.Submitted, len(st.Acked))
+	if len(st.Acked) == 0 {
+		fmt.Fprintln(os.Stderr, "crackbench: durable smoke acked nothing; crash test is vacuous")
+		os.Exit(1)
+	}
+}
+
+// runDurableVerify checks a restarted daemon against the smoke manifest:
+// every acked sentinel must be present exactly once (zero lost acked
+// writes, no duplicated replay), and the sentinel band's total count must
+// sit in [acked, submitted] — unacked in-flight inserts may legitimately
+// have landed (the crash hit after append, before the response), but
+// nothing outside the submitted set may exist. Exits nonzero on any
+// violation.
+func runDurableVerify(addr, statePath string) {
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: %v\n", err)
+		os.Exit(1)
+	}
+	var st durableState
+	if err := json.Unmarshal(data, &st); err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: bad state file %s: %v\n", statePath, err)
+		os.Exit(1)
+	}
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: dial %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	bad := 0
+	for _, s := range st.Acked {
+		res, _, err := cl.Query(engine.Query{
+			Preds: []engine.AttrPred{{Attr: "A", Pred: store.Point(store.Value(s))}},
+			Projs: []string{"A"},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crackbench: verify query for %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		if res.N != 1 {
+			fmt.Fprintf(os.Stderr, "crackbench: acked insert %d present %d times, want exactly 1\n", s, res.N)
+			bad++
+		}
+	}
+	res, _, err := cl.Query(engine.Query{
+		Preds: []engine.AttrPred{{Attr: "A", Pred: store.Range(store.Value(st.Base), store.Value(st.Base+int64(st.Submitted)))}},
+		Projs: []string{"A"},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crackbench: verify band query: %v\n", err)
+		os.Exit(1)
+	}
+	if res.N < len(st.Acked) || res.N > st.Submitted {
+		fmt.Fprintf(os.Stderr, "crackbench: sentinel band holds %d rows, want between %d acked and %d submitted\n",
+			res.N, len(st.Acked), st.Submitted)
+		bad++
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "crackbench: durable verify FAILED: %d violations\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("crackbench: durable verify ok: %d/%d acked inserts survived the crash exactly once (band=%d of %d submitted)\n",
+		len(st.Acked), len(st.Acked), res.N, st.Submitted)
+}

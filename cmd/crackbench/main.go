@@ -17,6 +17,9 @@
 //	crackbench -remote localhost:9090 -chaos           # verified chaos smoke
 //	crackbench -mvcc                                   # snapshot reads vs RWMutex
 //	crackbench -clients 8 -cpus 1,2,4                  # GOMAXPROCS sweep
+//	crackbench -durable                                # warm restart vs cold rebuild
+//	crackbench -remote :9090 -durable-smoke st.json    # churn until daemon dies
+//	crackbench -remote :9090 -durable-verify st.json   # acked writes survived?
 //
 // Experiment ids: exp1 exp2 exp3 exp4 exp5 exp6 fig9 fig10 fig11 fig12
 // fig13 ablation all. Sizes default to a laptop-friendly scale; -scale paper uses
@@ -70,6 +73,23 @@
 // The -cpus flag also applies to -clients: the serialized/concurrent
 // comparison is repeated at each GOMAXPROCS value, one series per value,
 // so multi-core scaling claims are reproducible from the artifact.
+//
+// With -durable the command benchmarks the durability subsystem locally:
+// it cracks a durable store with a query pool, closes it cleanly, reopens
+// it (recovery replays the crack tape), and fires the pool again — against
+// a cold from-scratch engine answering the identical queries — plus a
+// per-insert ack-latency panel for each WAL fsync mode, emitting
+// bench/BENCH_durability.json. The pinned claim: a warm restart answers
+// its first queries without re-paying any crack, and group commit shares
+// fsyncs across concurrent writers.
+//
+// -durable-smoke and -durable-verify are the two halves of the CI
+// crash-recovery job, both pointed at a `crackserved -data-dir` daemon via
+// -remote: smoke churns the daemon with out-of-domain sentinel inserts
+// (interleaved with cracking queries) until CI SIGKILLs it, recording
+// which inserts were acked; verify runs against the restarted daemon and
+// exits nonzero unless every acked insert survived exactly once and no
+// row exists that was never submitted.
 package main
 
 import (
@@ -109,6 +129,9 @@ func main() {
 		chaos   = flag.Bool("chaos", false, "run the chaos resilience benchmark: fire the warm workload through a fault-injecting proxy, sweeping fault rates with retries on/off plus a 2x-capacity overload segment (emits BENCH_chaos_resilience.json); with -remote, instead run a verified chaos smoke against the daemon and exit nonzero on any wrong answer")
 		chRate  = flag.Float64("chaos-rate", 0.01, "chaos smoke (-remote -chaos): aggregate fault rate injected by the local proxy")
 		chSeed  = flag.Int64("chaos-seed", 7, "chaos mode: fault decision seed")
+		durable = flag.Bool("durable", false, "run the durability benchmark: warm restart (crack-tape replay) vs cold rebuild on first-query latency, plus per-insert ack latency under each WAL fsync mode (emits BENCH_durability.json; -json defaults to bench/)")
+		durSmk  = flag.String("durable-smoke", "", "churn a crackserved -data-dir daemon (via -remote) with sentinel inserts until it dies, writing the acked-write manifest to this file for -durable-verify (the CI crash-recovery job)")
+		durVfy  = flag.String("durable-verify", "", "verify a restarted daemon (via -remote) against a -durable-smoke manifest: every acked insert present exactly once; exits nonzero on lost or duplicated acked writes")
 	)
 	flag.Parse()
 
@@ -116,6 +139,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -cpus: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *durSmk != "" || *durVfy != "" {
+		if *remote == "" {
+			fmt.Fprintln(os.Stderr, "-durable-smoke / -durable-verify need -remote addr (a crackserved -data-dir daemon)")
+			os.Exit(2)
+		}
+		if *durSmk != "" {
+			runDurableSmoke(*remote, *durSmk, *rows, *seed)
+		} else {
+			runDurableVerify(*remote, *durVfy)
+		}
+		return
+	}
+
+	if *durable {
+		runDurableBench(durableConfig{
+			Rows:    *rows,
+			Queries: *queries,
+			Sel:     *srvSel,
+			Seed:    *seed,
+			JSONDir: *jsonDir,
+		})
+		return
 	}
 
 	if *mvcc {

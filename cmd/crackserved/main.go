@@ -12,6 +12,7 @@
 //	crackserved -shards 4 -policy stochastic               # sharded + adaptive
 //	crackserved -timeout 250ms                             # bound each query
 //	crackserved -fault-rate 0.01 -fault-seed 7             # chaos debug mode
+//	crackserved -data-dir /var/lib/crack -fsync group      # durable engine
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting,
 // answers everything in flight, prints the serving statistics, and exits.
@@ -27,6 +28,19 @@
 // separate proxy; see also `crackbench -chaos`. -max-waiting and
 // -max-inflight bound admission: requests beyond them draw an in-band
 // overloaded response (shed) instead of queueing without bound.
+//
+// -data-dir makes the engine durable: acked writes go through a write-
+// ahead log in that directory before they are applied, reorganizing
+// queries are recorded on a crack tape, and restarts recover the store —
+// warm — from the last checkpoint plus the log tail. On a fresh directory
+// the synthetic relation seeds the store; on restart the directory wins
+// and -rows/-seed are ignored. Startup logs whether recovery was clean
+// (clean-shutdown marker honored, zero records replayed) or replayed
+// (records and bytes applied, torn tail truncated). The SIGINT/SIGTERM
+// drain flushes and fsyncs the log, writes a checkpoint and the clean-
+// shutdown marker, so the next start skips replay. -fsync picks the
+// durability mode (group | always | none); -data-dir is incompatible with
+// -shards and -snapshot.
 package main
 
 import (
@@ -46,6 +60,7 @@ import (
 	"crackstore/internal/serve"
 	"crackstore/internal/shard"
 	"crackstore/internal/store"
+	"crackstore/internal/wal"
 )
 
 func main() {
@@ -65,6 +80,8 @@ func main() {
 		maxInfl  = flag.Int("max-inflight", 0, "shed requests in-band once this many are in flight across all connections (0 = per-connection pipelining limits only)")
 		faultR   = flag.Float64("fault-rate", 0, "DEBUG: inject connection faults (corruption, resets, truncation, partial writes, delays) at this aggregate per-operation rate")
 		faultS   = flag.Int64("fault-seed", 1, "DEBUG: seed for -fault-rate decisions")
+		dataDir  = flag.String("data-dir", "", "durable mode: write-ahead log + checkpoints in this directory; restarts recover the store warm")
+		fsync    = flag.String("fsync", "group", "durable mode fsync policy (group|always|none)")
 	)
 	flag.Parse()
 
@@ -91,7 +108,34 @@ func main() {
 	})
 
 	var e engine.Engine
-	if *shards > 1 {
+	if *dataDir != "" {
+		if *shards > 1 || *snapshot {
+			fmt.Fprintln(os.Stderr, "crackserved: -data-dir is incompatible with -shards and -snapshot")
+			os.Exit(2)
+		}
+		mode, err := wal.ParseSyncMode(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crackserved: %v\n", err)
+			os.Exit(2)
+		}
+		e, err = engine.OpenDurable(kind, rel, *dataDir, engine.DurableOptions{Sync: mode, Policy: pol})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crackserved: open %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		if ds, ok := engine.DurStatsOf(e); ok {
+			switch {
+			case !ds.Recovered:
+				fmt.Printf("crackserved: durable: fresh store in %s (fsync=%s)\n", *dataDir, mode)
+			case ds.CleanShutdown:
+				fmt.Printf("crackserved: durable: clean recovery from %s (tape=%d cracks, no replay) in %v\n",
+					*dataDir, ds.TapeLen, ds.RecoveryTime.Round(time.Millisecond))
+			default:
+				fmt.Printf("crackserved: durable: replayed recovery from %s (%d records, %d bytes, %d torn bytes truncated, tape=%d cracks) in %v\n",
+					*dataDir, ds.ReplayedRecords, ds.ReplayedBytes, ds.TruncatedBytes, ds.TapeLen, ds.RecoveryTime.Round(time.Millisecond))
+			}
+		}
+	} else if *shards > 1 {
 		opts := shard.Options{Attr: "A", Snapshot: *snapshot}
 		if pol != nil {
 			opts.Policy = *pol
@@ -145,6 +189,16 @@ func main() {
 	fmt.Println("crackserved: draining...")
 	t0 := time.Now()
 	srv.Close()
+	// Everything in flight is answered; now make it durable. CloseDurable
+	// fsyncs the log, writes a final checkpoint, and leaves the clean-
+	// shutdown marker so the next start skips replay.
+	if ok, err := engine.CloseDurable(e); ok {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crackserved: durable close: %v\n", err)
+		} else {
+			fmt.Println("crackserved: durable: checkpointed and marked clean")
+		}
+	}
 	st := srv.Stats()
 	fmt.Printf("crackserved: drained in %v; served %d queries (%d errors), %.0f q/s, p50=%v p99=%v max=%v\n",
 		time.Since(t0).Round(time.Millisecond), st.Queries, st.Errors, st.QPS, st.P50, st.P99, st.Max)

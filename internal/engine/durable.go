@@ -1,0 +1,521 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crackstore/internal/crack"
+	"crackstore/internal/store"
+	"crackstore/internal/wal"
+)
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Sync selects the WAL durability mode (see wal.SyncMode). The default
+	// SyncGroup acks only after an fsync covers the record, sharing fsyncs
+	// across concurrent writers.
+	Sync wal.SyncMode
+	// CheckpointBytes rotates the WAL and writes a fresh checkpoint when
+	// the live segment exceeds this size. 0 picks 64 MiB; negative
+	// disables automatic checkpoints (tests and the crash matrix use this
+	// so the on-disk image stays a single scannable segment).
+	CheckpointBytes int64
+	// Policy, if non-nil, is the adaptive cracking policy applied at open
+	// — both to fresh stores and before tape replay on recovery, since a
+	// policy-steered tape must be replayed under the same policy to
+	// reproduce the cuts.
+	Policy *crack.Policy
+	// Wrap, if set, wraps the WAL segment file before use; faultnet's
+	// WrapFile injects torn writes, short writes, and fsync errors here.
+	Wrap func(wal.File) wal.File
+}
+
+func (o DurableOptions) checkpointBytes() int64 {
+	if o.CheckpointBytes == 0 {
+		return 64 << 20
+	}
+	return o.CheckpointBytes
+}
+
+// DurStats reports durability state and activity for a durable engine.
+type DurStats struct {
+	// Recovered is true when the open found an existing store on disk
+	// (false for a fresh directory).
+	Recovered bool
+	// CleanShutdown is true when recovery found a clean-shutdown marker
+	// matching the on-disk state exactly: nothing torn, nothing to replay.
+	CleanShutdown bool
+	// ReplayedRecords / ReplayedBytes count the WAL tail applied on top of
+	// the checkpoint during recovery (segment-marker records excluded).
+	ReplayedRecords int
+	ReplayedBytes   int64
+	// TruncatedBytes is the torn tail discarded at open — bytes of a
+	// record that was mid-write when the previous process died.
+	TruncatedBytes int64
+	// RecoveryTime is the wall time of the whole open-and-replay.
+	RecoveryTime time.Duration
+	// TapeLen is the crack tape length (reorganizing queries recorded
+	// since the relation was seeded; the warmth a restart inherits).
+	TapeLen int
+	// Checkpoints counts checkpoints written by this process.
+	Checkpoints int64
+	// WriteErrs counts writes refused or failed because of storage errors
+	// (the log poisons on the first such error and stops acking).
+	WriteErrs int64
+	// WalBytes is the live segment size; Wal holds the log's counters.
+	WalBytes int64
+	Wal      wal.Stats
+}
+
+// durEngine makes any engine durable: every acked Insert/Delete is written
+// to a CRC-framed WAL before it is applied, reorganizing queries append
+// their shape to a crack tape, and periodic checkpoints materialize base
+// columns + tombstones + tape into an atomically-replaced snapshot with a
+// fresh WAL segment. It is also a shared-safe wrapper (same probe/execute
+// RWMutex protocol as Concurrent): holding the write lock across
+// log-append and in-memory apply makes log order equal apply order, which
+// is what lets replay reproduce identical tuple keys.
+type durEngine struct {
+	mu  sync.RWMutex
+	e   Engine
+	rel *store.Relation
+
+	dir   string
+	width int
+	opts  DurableOptions
+
+	log   *wal.Log
+	cpSeq uint64
+
+	tape []wal.Record // cumulative crack tape since seed
+	dead []int        // cumulative tombstoned keys since seed
+
+	checkpoints atomic.Int64
+	writeErrs   atomic.Int64
+
+	open DurStats // recovery-time fields, fixed after OpenDurable
+}
+
+// SharedEngine marks the wrapper safe to share; serve and Concurrent must
+// not add another lock on top.
+func (d *durEngine) SharedEngine() {}
+
+// OpenDurable opens (or creates) a durable engine of the given kind backed
+// by data directory dir. For a fresh directory, rel seeds the store: its
+// contents become checkpoint 0, so the seed itself never needs the WAL.
+// For an existing directory, rel is ignored — the relation is rebuilt from
+// the checkpoint, the crack tape is replayed to re-crack the recovered
+// layout warm, and the WAL segment tail is applied on top (torn tail
+// truncated). The returned engine carries the SharedEngine marker and
+// needs no Concurrent wrapper.
+func OpenDurable(kind Kind, rel *store.Relation, dir string, opts DurableOptions) (Engine, error) {
+	t0 := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cp, err := wal.LoadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	walOpts := wal.Options{Sync: opts.Sync, Wrap: opts.Wrap}
+
+	if cp == nil {
+		// Fresh store: checkpoint the seed relation, then open segment 0.
+		// A crash between the two leaves a checkpoint whose segment is
+		// missing; OpenLog creates it empty, so that order is safe, while
+		// the reverse order could leave a segment with records but no
+		// checkpoint to anchor them.
+		d := &durEngine{e: New(kind, rel), rel: rel, dir: dir, width: len(rel.Order), opts: opts}
+		if opts.Policy != nil {
+			SetPolicy(d.e, *opts.Policy)
+		}
+		if err := wal.WriteCheckpoint(dir, d.checkpoint(0)); err != nil {
+			return nil, err
+		}
+		log, _, err := wal.OpenLog(wal.SegmentPath(dir, 0), walOpts)
+		if err != nil {
+			return nil, err
+		}
+		d.log = log
+		if err := log.Append(wal.Record{Type: wal.RecCheckpoint, Seq: 0}); err != nil {
+			log.Close()
+			return nil, err
+		}
+		d.open.RecoveryTime = time.Since(t0)
+		return d, nil
+	}
+
+	// Recovery. The clean marker is consumed up front (whatever happens
+	// next, a future crash must not look clean), then validated against
+	// the on-disk state it described.
+	mSeq, mSize, hasMarker := wal.TakeCleanMarker(dir)
+
+	rrel := store.NewRelation(cp.Name, cp.Attrs...)
+	for i, attr := range cp.Attrs {
+		rrel.MustColumn(attr).Vals = cp.Cols[i]
+	}
+	d := &durEngine{e: New(kind, rrel), rel: rrel, dir: dir, width: len(cp.Attrs), opts: opts, cpSeq: cp.Seq}
+	if opts.Policy != nil {
+		SetPolicy(d.e, *opts.Policy)
+	}
+	for _, k := range cp.Dead {
+		d.e.Delete(k)
+	}
+	d.dead = cp.Dead
+
+	// Replay the tape: re-running the recorded reorganizing queries cracks
+	// the rebuilt base columns into the same cut set the dead process had
+	// (the kernel is deterministic — enforced by crackvet's detrand
+	// checker — and recovery is single-goroutine, so replay order is tape
+	// order). This is what makes the restart warm rather than correct-but-
+	// cold.
+	for _, rec := range cp.Tape {
+		d.e.Query(tapeQuery(rec))
+	}
+	d.tape = cp.Tape
+
+	// Apply the segment tail on top of the checkpoint.
+	segPath := wal.SegmentPath(dir, cp.Seq)
+	raw, err := os.ReadFile(segPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	replayErr := func() error {
+		n, err := wal.Scan(raw, func(_ int64, rec wal.Record) error {
+			return d.applyReplay(cp.Seq, rec)
+		})
+		if err != nil {
+			return err
+		}
+		d.open.TruncatedBytes = int64(len(raw)) - n
+		return nil
+	}()
+	if replayErr != nil {
+		return nil, replayErr
+	}
+	d.open.ReplayedBytes = int64(len(raw)) - d.open.TruncatedBytes
+
+	log, torn, err := wal.OpenLog(segPath, walOpts)
+	if err != nil {
+		return nil, err
+	}
+	d.log = log
+
+	d.open.Recovered = true
+	d.open.CleanShutdown = hasMarker && mSeq == cp.Seq &&
+		mSize == int64(len(raw)) && torn == 0 && d.open.ReplayedRecords == 0
+	d.open.RecoveryTime = time.Since(t0)
+	return d, nil
+}
+
+// applyReplay applies one recovered WAL record to the warm store.
+func (d *durEngine) applyReplay(cpSeq uint64, rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecInsert:
+		for i := 0; i+rec.Width <= len(rec.Vals); i += rec.Width {
+			d.e.Insert(rec.Vals[i : i+rec.Width]...)
+		}
+		d.open.ReplayedRecords++
+	case wal.RecDelete:
+		for _, k := range rec.Keys {
+			d.e.Delete(k)
+			d.dead = append(d.dead, k)
+		}
+		d.open.ReplayedRecords++
+	case wal.RecCrack:
+		d.e.Query(tapeQuery(rec))
+		d.tape = append(d.tape, rec)
+		d.open.ReplayedRecords++
+	case wal.RecCheckpoint:
+		if rec.Seq != cpSeq {
+			return fmt.Errorf("engine: wal segment opened by checkpoint %d but checkpoint on disk is %d", rec.Seq, cpSeq)
+		}
+	default:
+		return fmt.Errorf("engine: replaying unknown wal record type %d", rec.Type)
+	}
+	return nil
+}
+
+// tapeQuery converts a crack-tape record back into the query that cut it.
+func tapeQuery(rec wal.Record) Query {
+	q := Query{Projs: rec.Projs, Disjunctive: rec.Disjunctive}
+	q.Preds = make([]AttrPred, len(rec.Preds))
+	for i, p := range rec.Preds {
+		q.Preds[i] = AttrPred{Attr: p.Attr, Pred: p.Pred}
+	}
+	return q
+}
+
+// crackRecord converts a reorganizing query into its tape record.
+func crackRecord(q Query) wal.Record {
+	rec := wal.Record{Type: wal.RecCrack, Projs: q.Projs, Disjunctive: q.Disjunctive}
+	rec.Preds = make([]wal.PredRec, len(q.Preds))
+	for i, ap := range q.Preds {
+		rec.Preds[i] = wal.PredRec{Attr: ap.Attr, Pred: ap.Pred}
+	}
+	return rec
+}
+
+// checkpoint materializes the current state (caller holds the write lock,
+// or is inside OpenDurable before the engine is shared). The base-column
+// slices are referenced, not copied: the relation is append-only and the
+// encode completes before the lock is released.
+func (d *durEngine) checkpoint(seq uint64) *wal.Checkpoint {
+	cp := &wal.Checkpoint{Seq: seq, Name: d.rel.Name, Attrs: d.rel.Order, Dead: d.dead, Tape: d.tape}
+	cp.Cols = make([][]store.Value, len(d.rel.Order))
+	for i, attr := range d.rel.Order {
+		cp.Cols[i] = d.rel.MustColumn(attr).Vals
+	}
+	return cp
+}
+
+// maybeCheckpointLocked rotates the WAL when the live segment has outgrown
+// the configured threshold. Caller holds the write lock.
+func (d *durEngine) maybeCheckpointLocked() {
+	limit := d.opts.checkpointBytes()
+	if limit <= 0 || d.log.Size() < limit {
+		return
+	}
+	d.checkpointLocked()
+}
+
+// checkpointLocked writes a fresh checkpoint and swaps to a new WAL
+// segment. The order is chosen so a crash anywhere leaves a recoverable
+// pair:
+//
+//  1. fsync the old segment — every ack in flight is durable before its
+//     segment is retired, so no WaitDurable waiter can fail after its data
+//     became recoverable;
+//  2. create the new (empty) segment;
+//  3. atomically publish the new checkpoint (tmp+fsync+rename+dir-fsync);
+//  4. stamp the new segment with its checkpoint's marker record;
+//  5. swap logs, then close and delete the old segment.
+//
+// Failing before step 3 keeps the old pair authoritative; failing after it
+// leaves the new pair authoritative with at worst a stale segment file
+// that recovery ignores.
+func (d *durEngine) checkpointLocked() {
+	if err := d.log.Sync(); err != nil {
+		d.writeErrs.Add(1)
+		return
+	}
+	seq := d.cpSeq + 1
+	newLog, _, err := wal.OpenLog(wal.SegmentPath(d.dir, seq), wal.Options{Sync: d.opts.Sync, Wrap: d.opts.Wrap})
+	if err != nil {
+		d.writeErrs.Add(1)
+		return
+	}
+	if err := wal.WriteCheckpoint(d.dir, d.checkpoint(seq)); err != nil {
+		newLog.Close()
+		os.Remove(wal.SegmentPath(d.dir, seq))
+		d.writeErrs.Add(1)
+		return
+	}
+	// The checkpoint on disk now names the new segment; from here the swap
+	// must happen even if the marker append fails (a poisoned new log
+	// refuses acks, which is safe — staying on the old log would ack
+	// writes recovery will never see).
+	if err := newLog.Append(wal.Record{Type: wal.RecCheckpoint, Seq: seq}); err != nil {
+		d.writeErrs.Add(1)
+	}
+	old := d.log
+	d.log = newLog
+	d.cpSeq = seq
+	d.checkpoints.Add(1)
+	old.Close()
+	wal.RemoveSegmentsExcept(d.dir, seq)
+}
+
+// Close makes the store durable and marks the shutdown clean: final fsync,
+// final checkpoint (so the next open replays nothing), clean marker, close.
+func (d *durEngine) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.log.Sync(); err != nil {
+		d.log.Close()
+		return err
+	}
+	d.checkpointLocked()
+	if err := d.log.Err(); err != nil {
+		d.log.Close()
+		return err
+	}
+	if err := wal.WriteCleanMarker(d.dir, d.cpSeq, d.log.Size()); err != nil {
+		d.log.Close()
+		return err
+	}
+	return d.log.Close()
+}
+
+// DurStats returns a snapshot of the durability counters.
+func (d *durEngine) DurStats() DurStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s := d.open
+	s.TapeLen = len(d.tape)
+	s.Checkpoints = d.checkpoints.Load()
+	s.WriteErrs = d.writeErrs.Load()
+	s.WalBytes = d.log.Size()
+	s.Wal = d.log.Stats()
+	return s
+}
+
+// DurObservable is implemented by durable engines.
+type DurObservable interface {
+	DurStats() DurStats
+}
+
+// DurStatsOf extracts durability statistics from e if it is durable.
+func DurStatsOf(e Engine) (DurStats, bool) {
+	if o, ok := e.(DurObservable); ok {
+		return o.DurStats(), true
+	}
+	return DurStats{}, false
+}
+
+// CloseDurable checkpoints and closes a durable engine, reporting false
+// when e is not one.
+func CloseDurable(e Engine) (bool, error) {
+	if d, ok := e.(*durEngine); ok {
+		return true, d.Close()
+	}
+	return false, nil
+}
+
+// ---------------------------------------------------------------------------
+// Engine interface.
+
+func (d *durEngine) Name() string { return d.e.Name() + " (durable)" }
+func (d *durEngine) Kind() Kind   { return d.e.Kind() }
+
+// SetCrackPolicy forwards the policy under the write lock. Prefer
+// DurableOptions.Policy: a policy set after queries ran is not recorded
+// and therefore not re-applied before tape replay on recovery.
+func (d *durEngine) SetCrackPolicy(pol crack.Policy) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return SetPolicy(d.e, pol)
+}
+
+// Insert logs the tuple, applies it, and acks only after the record is
+// durable per the sync mode. A refused or failed write returns key -1 and
+// counts in DurStats.WriteErrs; after any storage error the log is
+// poisoned and every subsequent write returns -1 (the durable prefix is
+// unknowable, so acking would lie — restart and recover instead).
+func (d *durEngine) Insert(vals ...Value) int {
+	if len(vals) != d.width {
+		d.writeErrs.Add(1)
+		return -1
+	}
+	rec := wal.Record{Type: wal.RecInsert, Width: d.width, Vals: vals}
+	d.mu.Lock()
+	log := d.log
+	end, err := log.AppendBuffered(rec)
+	if err != nil {
+		d.mu.Unlock()
+		d.writeErrs.Add(1)
+		return -1
+	}
+	key := d.e.Insert(vals...)
+	d.maybeCheckpointLocked()
+	d.mu.Unlock()
+	// The durability wait happens outside the lock: concurrent inserts
+	// stack up appends and share fsyncs (group commit). If a checkpoint
+	// retired this record's segment meanwhile, step 1 of the rotation
+	// already fsynced it and the wait returns immediately.
+	if err := log.WaitDurable(end); err != nil {
+		d.writeErrs.Add(1)
+		return -1
+	}
+	return key
+}
+
+// Delete logs and applies a tombstone. A refused append applies nothing
+// (the in-memory state never runs ahead of the log's ordering); a failed
+// durability wait counts as a write error, with the tombstone applied —
+// the poisoned log stops all further acks anyway.
+func (d *durEngine) Delete(key int) {
+	rec := wal.Record{Type: wal.RecDelete, Keys: []int{key}}
+	d.mu.Lock()
+	log := d.log
+	end, err := log.AppendBuffered(rec)
+	if err != nil {
+		d.mu.Unlock()
+		d.writeErrs.Add(1)
+		return
+	}
+	d.e.Delete(key)
+	d.dead = append(d.dead, key)
+	d.maybeCheckpointLocked()
+	d.mu.Unlock()
+	if err := log.WaitDurable(end); err != nil {
+		d.writeErrs.Add(1)
+	}
+}
+
+// Query runs the probe/execute protocol (see Concurrent): read-only under
+// the shared lock, exclusive only when reorganization is needed — and a
+// reorganizing query is appended to the crack tape before it runs, so the
+// cuts it makes survive a restart. Tape appends are buffered, never
+// durability-waited: losing an unsynced tape tail costs restart warmth,
+// not correctness, and read latency must not pay for fsyncs.
+func (d *durEngine) Query(q Query) (Result, Cost) {
+	d.mu.RLock()
+	res, cost, ok := d.e.QueryRO(q)
+	d.mu.RUnlock()
+	if ok {
+		return res, cost
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if res, cost, ok := d.e.QueryRO(q); ok {
+		return res, cost
+	}
+	rec := crackRecord(q)
+	if _, err := d.log.AppendBuffered(rec); err != nil {
+		d.writeErrs.Add(1)
+	}
+	d.tape = append(d.tape, rec)
+	res, cost = d.e.Query(q)
+	d.maybeCheckpointLocked()
+	return res, cost
+}
+
+func (d *durEngine) Probe(q Query) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.e.Probe(q)
+}
+
+func (d *durEngine) QueryRO(q Query) (Result, Cost, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.e.QueryRO(q)
+}
+
+// Prepare runs under the write lock and is not logged: presorted copies
+// are derivable state and self-organizing engines no-op here, so a restart
+// merely rebuilds them on demand.
+func (d *durEngine) Prepare(attrs ...string) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.e.Prepare(attrs...)
+}
+
+func (d *durEngine) Storage() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.e.Storage()
+}
+
+// JoinInput cracks both inputs under the write lock (see Concurrent). The
+// reorganization it causes is not tape-recorded — join warmth is rebuilt
+// on demand after a restart.
+func (d *durEngine) JoinInput(preds []AttrPred, joinAttr string, projs []string) (JoinInput, Cost) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.e.JoinInput(preds, joinAttr, projs)
+}

@@ -1,0 +1,617 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"crackstore/internal/faultnet"
+	"crackstore/internal/store"
+	"crackstore/internal/wal"
+)
+
+const durSentinelBase = store.Value(1) << 40
+
+func durSeedRel() *store.Relation {
+	return store.Build("R", 60, []string{"A", "B", "C"}, func(attr string, row int) store.Value {
+		return store.Value(store.Mix64(uint64(row)*31+uint64(len(attr)))%999) + 1
+	})
+}
+
+// durBattery is the answer battery used to compare two stores: range
+// counts, multi-attribute conjunctions and disjunctions, and a point query
+// per sentinel value. Answer-equivalence over it is the recovery contract.
+func durBattery(sentinels []store.Value) []Query {
+	all := []string{"A", "B", "C"}
+	qs := []Query{
+		{Preds: []AttrPred{{Attr: "A", Pred: store.Range(-(1 << 60), 1<<60)}}, Projs: all},
+		{Preds: []AttrPred{{Attr: "A", Pred: store.Range(0, 500)}}, Projs: []string{"A", "B"}},
+		{Preds: []AttrPred{{Attr: "A", Pred: store.Range(250, 800)}}, Projs: []string{"C"}},
+		{Preds: []AttrPred{{Attr: "B", Pred: store.Range(100, 400)}}, Projs: []string{"A"}},
+		{Preds: []AttrPred{
+			{Attr: "A", Pred: store.Range(0, 300)},
+			{Attr: "B", Pred: store.Range(0, 600)},
+		}, Projs: []string{"A", "C"}},
+		{Preds: []AttrPred{
+			{Attr: "A", Pred: store.Range(0, 200)},
+			{Attr: "B", Pred: store.Range(500, 900)},
+		}, Projs: []string{"A"}, Disjunctive: true},
+	}
+	for _, s := range sentinels {
+		qs = append(qs, Query{Preds: []AttrPred{{Attr: "A", Pred: store.Point(s)}}, Projs: all})
+	}
+	return qs
+}
+
+// resultTuples renders a result as a sorted multiset of tuples, so stores
+// with different physical layouts (and thus different result orders)
+// compare equal exactly when they agree on content.
+func resultTuples(res Result, projs []string) []string {
+	tuples := make([]string, res.N)
+	for i := 0; i < res.N; i++ {
+		row := ""
+		for _, attr := range projs {
+			row += fmt.Sprintf("%d|", res.Cols[attr][i])
+		}
+		tuples[i] = row
+	}
+	sort.Strings(tuples)
+	return tuples
+}
+
+func assertAnswerEquivalent(t *testing.T, tag string, got, want Engine, qs []Query) {
+	t.Helper()
+	for qi, q := range qs {
+		rg, _ := got.Query(q)
+		rw, _ := want.Query(q)
+		if rg.N != rw.N {
+			t.Fatalf("%s: query %d: N=%d want %d", tag, qi, rg.N, rw.N)
+		}
+		tg, tw := resultTuples(rg, q.Projs), resultTuples(rw, q.Projs)
+		for i := range tg {
+			if tg[i] != tw[i] {
+				t.Fatalf("%s: query %d: tuple %d: %q vs %q", tag, qi, i, tg[i], tw[i])
+			}
+		}
+	}
+}
+
+// durOp is one scripted workload operation.
+type durOp struct {
+	kind byte // 'i' insert, 'd' delete, 'q' query
+	vals []store.Value
+	key  int
+	q    Query
+}
+
+// durWorkload is the deterministic insert/delete/crack mix the crash tests
+// run. Sentinel A-values are unique and far outside the seed domain so
+// point queries can assert exactly-once survival.
+func durWorkload() (ops []durOp, sentinels []store.Value) {
+	qa := func(lo, hi store.Value) durOp {
+		return durOp{kind: 'q', q: Query{Preds: []AttrPred{{Attr: "A", Pred: store.Range(lo, hi)}}, Projs: []string{"A", "B"}}}
+	}
+	qb := func(lo, hi store.Value) durOp {
+		return durOp{kind: 'q', q: Query{Preds: []AttrPred{{Attr: "B", Pred: store.Range(lo, hi)}}, Projs: []string{"C"}}}
+	}
+	ins := func(i int) durOp {
+		s := durSentinelBase + store.Value(i)
+		sentinels = append(sentinels, s)
+		return durOp{kind: 'i', vals: []store.Value{s, store.Value(100 + i), store.Value(200 + i)}}
+	}
+	ops = []durOp{
+		qa(100, 300),
+		ins(0), // key 60
+		qa(200, 600),
+		ins(1),
+		durOp{kind: 'd', key: 5},
+		qb(100, 500),
+		ins(2),
+		durOp{kind: 'd', key: 60}, // kills sentinel 0
+		durOp{kind: 'q', q: Query{Preds: []AttrPred{
+			{Attr: "A", Pred: store.Range(0, 150)},
+			{Attr: "B", Pred: store.Range(600, 999)},
+		}, Projs: []string{"A"}, Disjunctive: true}},
+		ins(3),
+		qa(50, 120),
+		ins(4),
+		durOp{kind: 'd', key: 17},
+		qb(700, 950),
+		ins(5),
+		qa(400, 950),
+		ins(6),
+		ins(7),
+	}
+	return ops, sentinels
+}
+
+func applyOp(e Engine, op durOp) int {
+	switch op.kind {
+	case 'i':
+		return e.Insert(op.vals...)
+	case 'd':
+		e.Delete(op.key)
+	case 'q':
+		e.Query(op.q)
+	}
+	return 0
+}
+
+func copyDurDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDurableFreshOpenBasics(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable(SelCrack, durSeedRel(), dir, DurableOptions{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	st, ok := DurStatsOf(e)
+	if !ok {
+		t.Fatal("durable engine has no DurStats")
+	}
+	if st.Recovered || st.CleanShutdown {
+		t.Fatalf("fresh open claims recovery: %+v", st)
+	}
+	if key := e.Insert(durSentinelBase, 1, 2); key != 60 {
+		t.Fatalf("insert key=%d want 60", key)
+	}
+	if key := e.Insert(1, 2); key != -1 {
+		t.Fatal("arity-mismatched insert acked")
+	}
+	res, _ := e.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Point(durSentinelBase)}}, Projs: []string{"B"}})
+	if res.N != 1 {
+		t.Fatalf("sentinel query N=%d", res.N)
+	}
+	if !IsShared(e) {
+		t.Fatal("durable engine must carry the shared marker")
+	}
+	if Concurrent(e) != e {
+		t.Fatal("Concurrent double-wrapped a durable engine")
+	}
+	if ok, err := CloseDurable(e); !ok || err != nil {
+		t.Fatalf("close: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestDurableCrashMatrix is the crash-point matrix property test: run a
+// scripted insert/delete/crack workload with per-record fsync, then for
+// every byte offset of the resulting WAL simulate a process kill at that
+// point (checkpoint + truncated segment in a fresh directory), recover,
+// and require the recovered store to be answer-equivalent to a sequential
+// replay of exactly the records whose frames are complete in the image —
+// zero acked-write loss at the full image, no phantoms anywhere.
+func TestDurableCrashMatrix(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{Sync: wal.SyncAlways, CheckpointBytes: -1}
+	e, err := OpenDurable(SelCrack, durSeedRel(), dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ops, sentinels := durWorkload()
+	for i, op := range ops {
+		if key := applyOp(e, op); op.kind == 'i' && key < 0 {
+			t.Fatalf("op %d: insert not acked", i)
+		}
+	}
+	// No Close: the crash happens with the WAL as the only record of the
+	// post-checkpoint writes. SyncAlways means every acked write is inside
+	// the synced image read back here.
+	img, err := os.ReadFile(wal.SegmentPath(dir, 0))
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	cpBytes, err := os.ReadFile(filepath.Join(dir, "checkpoint"))
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	root := t.TempDir()
+	qs := durBattery(sentinels)
+
+	step := 1
+	if testing.Short() {
+		step = 13
+	}
+	for k := 0; k <= len(img); k += step {
+		crashDir := filepath.Join(root, fmt.Sprintf("k%06d", k))
+		if err := os.MkdirAll(crashDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, "checkpoint"), cpBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(wal.SegmentPath(crashDir, 0), img[:k], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		rec, err := OpenDurable(SelCrack, nil, crashDir, opts)
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v", k, err)
+		}
+		st, _ := DurStatsOf(rec)
+		if !st.Recovered {
+			t.Fatalf("k=%d: not marked recovered", k)
+		}
+		if st.CleanShutdown {
+			t.Fatalf("k=%d: crash image marked clean", k)
+		}
+
+		// The never-crashed twin replays exactly the complete records.
+		twin := New(SelCrack, durSeedRel())
+		replayable := 0
+		valid, err := wal.Scan(img[:k], func(_ int64, r wal.Record) error {
+			switch r.Type {
+			case wal.RecInsert:
+				for i := 0; i+r.Width <= len(r.Vals); i += r.Width {
+					twin.Insert(r.Vals[i : i+r.Width]...)
+				}
+				replayable++
+			case wal.RecDelete:
+				for _, key := range r.Keys {
+					twin.Delete(key)
+				}
+				replayable++
+			case wal.RecCrack:
+				twin.Query(tapeQuery(r))
+				replayable++
+			case wal.RecCheckpoint:
+			default:
+				t.Fatalf("k=%d: unexpected record type %v", k, r.Type)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("k=%d: scan: %v", k, err)
+		}
+		if st.ReplayedRecords != replayable {
+			t.Fatalf("k=%d: replayed %d records, image has %d", k, st.ReplayedRecords, replayable)
+		}
+		if st.TruncatedBytes != int64(k)-valid {
+			t.Fatalf("k=%d: truncated %d, want %d", k, st.TruncatedBytes, int64(k)-valid)
+		}
+		assertAnswerEquivalent(t, fmt.Sprintf("k=%d", k), rec, twin, qs)
+		CloseDurable(rec)
+		os.RemoveAll(crashDir)
+	}
+}
+
+func TestDurableWarmRestart(t *testing.T) {
+	for _, kind := range []Kind{SelCrack, Sideways, PartialSideways} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			e, err := OpenDurable(kind, durSeedRel(), dir, DurableOptions{Sync: wal.SyncGroup})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			ops, sentinels := durWorkload()
+			var cracked []Query
+			for _, op := range ops {
+				applyOp(e, op)
+				if op.kind == 'q' {
+					cracked = append(cracked, op.q)
+				}
+			}
+			if ok, err := CloseDurable(e); !ok || err != nil {
+				t.Fatalf("close: ok=%v err=%v", ok, err)
+			}
+
+			re, err := OpenDurable(kind, nil, dir, DurableOptions{Sync: wal.SyncGroup})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			st, _ := DurStatsOf(re)
+			if !st.Recovered || !st.CleanShutdown {
+				t.Fatalf("clean restart not detected: %+v", st)
+			}
+			if st.ReplayedRecords != 0 {
+				t.Fatalf("clean restart replayed %d records", st.ReplayedRecords)
+			}
+			if st.TapeLen == 0 {
+				t.Fatal("tape empty after cracking workload")
+			}
+			// Warmth: the queries that cracked the dead process's layout
+			// must find the recovered layout already cracked — no
+			// reorganization, which is exactly what Probe reports. Only
+			// single-predicate queries guarantee this: multi-predicate
+			// plans pick their head from live selectivity estimates, so
+			// their probe outcome varies with physical state even on a
+			// never-crashed store.
+			warm := 0
+			for i, q := range cracked {
+				if len(q.Preds) != 1 {
+					continue
+				}
+				warm++
+				if re.Probe(q) {
+					t.Fatalf("recovered store cold for replayed query %d: %+v", i, q)
+				}
+			}
+			if warm == 0 {
+				t.Fatal("workload had no single-predicate queries to check warmth with")
+			}
+			// And the recovered store answers like a never-crashed twin.
+			twin := New(kind, durSeedRel())
+			for _, op := range ops {
+				applyOp(twin, op)
+			}
+			assertAnswerEquivalent(t, "warm", re, twin, durBattery(sentinels))
+			CloseDurable(re)
+		})
+	}
+}
+
+func TestDurableRecoverMissingSegment(t *testing.T) {
+	// Crash window in the fresh-open sequence: checkpoint written, segment
+	// never created. Recovery must treat it as an empty segment.
+	dir := t.TempDir()
+	e, err := OpenDurable(SelCrack, durSeedRel(), dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := CloseDurable(e); !ok || err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.ReadDir(dir)
+	for _, f := range st {
+		if f.Name() != "checkpoint" {
+			os.Remove(filepath.Join(dir, f.Name()))
+		}
+	}
+	re, err := OpenDurable(SelCrack, nil, dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery without segment: %v", err)
+	}
+	ds, _ := DurStatsOf(re)
+	if !ds.Recovered || ds.CleanShutdown || ds.ReplayedRecords != 0 {
+		t.Fatalf("unexpected stats: %+v", ds)
+	}
+	res, _ := re.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Range(-(1 << 60), 1<<60)}}, Projs: []string{"A"}})
+	if res.N != 60 {
+		t.Fatalf("N=%d want 60", res.N)
+	}
+	CloseDurable(re)
+}
+
+// TestDurableCheckpointRotation forces frequent WAL rotation and verifies
+// (a) every mid-run directory snapshot — a consistent crash image taken
+// between operations — recovers to exactly the writes acked before it, and
+// (b) the final state matches a never-crashed twin.
+func TestDurableCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{Sync: wal.SyncAlways, CheckpointBytes: 512}
+	e, err := OpenDurable(SelCrack, durSeedRel(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	twin := New(SelCrack, durSeedRel())
+	type snap struct {
+		dir   string
+		acked int // sentinels acked before the copy
+	}
+	var snaps []snap
+	var sentinels []store.Value
+	for i := 0; i < 120; i++ {
+		s := durSentinelBase + store.Value(i)
+		sentinels = append(sentinels, s)
+		vals := []store.Value{s, store.Value(i % 7), store.Value(i % 11)}
+		if key := e.Insert(vals...); key < 0 {
+			t.Fatalf("insert %d refused", i)
+		}
+		twin.Insert(vals...)
+		if i%17 == 3 {
+			q := Query{Preds: []AttrPred{{Attr: "A", Pred: store.Range(store.Value(i), store.Value(i*5))}}, Projs: []string{"B"}}
+			e.Query(q)
+			twin.Query(q)
+		}
+		if i%25 == 24 {
+			sd := filepath.Join(root, fmt.Sprintf("snap%03d", i))
+			copyDurDir(t, dir, sd)
+			snaps = append(snaps, snap{dir: sd, acked: i + 1})
+		}
+	}
+	st, _ := DurStatsOf(e)
+	if st.Checkpoints == 0 {
+		t.Fatalf("no rotation at CheckpointBytes=512: %+v", st)
+	}
+	if st.WalBytes >= 10*512 {
+		t.Fatalf("segment grew unbounded: %d bytes", st.WalBytes)
+	}
+	assertAnswerEquivalent(t, "final", e, twin, durBattery(sentinels))
+	if ok, err := CloseDurable(e); !ok || err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sn := range snaps {
+		rec, err := OpenDurable(SelCrack, nil, sn.dir, opts)
+		if err != nil {
+			t.Fatalf("%s: recovery: %v", sn.dir, err)
+		}
+		for i, s := range sentinels {
+			res, _ := rec.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Point(s)}}, Projs: []string{"A"}})
+			want := 0
+			if i < sn.acked {
+				want = 1
+			}
+			if res.N != want {
+				t.Fatalf("%s: sentinel %d: N=%d want %d", sn.dir, i, res.N, want)
+			}
+		}
+		CloseDurable(rec)
+	}
+}
+
+// TestDurableConcurrentAckedWritesSurviveCrash hammers a durable engine
+// from concurrent writers and readers (group-commit path), then recovers
+// from a copy of the directory as if the process had been killed, and
+// requires every acked insert to be present exactly once. Runs under
+// -race in CI (and in the multicore stress job via the Concurrent name).
+func TestDurableConcurrentAckedWritesSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable(SelCrack, durSeedRel(), dir, DurableOptions{Sync: wal.SyncGroup, CheckpointBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 30
+	var wg sync.WaitGroup
+	acked := make([][]store.Value, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s := durSentinelBase + store.Value(w*perWriter+i)
+				if key := e.Insert(s, store.Value(w), store.Value(i)); key >= 0 {
+					acked[w] = append(acked[w], s)
+				}
+				if i%2 == 0 {
+					e.Delete(5000 + w) // no-op keys: exercise delete logging
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				e.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Range(store.Value(r*10), store.Value(500+r*100))}}, Projs: []string{"B"}})
+			}
+		}(r)
+	}
+	wg.Wait()
+	st, _ := DurStatsOf(e)
+	if st.WriteErrs != 0 {
+		t.Fatalf("healthy storage produced %d write errors", st.WriteErrs)
+	}
+
+	// Simulated kill: copy the directory while the engine still holds it
+	// (every acked write is already fsynced under SyncGroup), recover the
+	// copy.
+	crashDir := filepath.Join(t.TempDir(), "crash")
+	copyDurDir(t, dir, crashDir)
+	rec, err := OpenDurable(SelCrack, nil, crashDir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	rst, _ := DurStatsOf(rec)
+	if !rst.Recovered || rst.CleanShutdown {
+		t.Fatalf("crash image stats: %+v", rst)
+	}
+	total := 0
+	for w := range acked {
+		total += len(acked[w])
+		for _, s := range acked[w] {
+			res, _ := rec.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Point(s)}}, Projs: []string{"A"}})
+			if res.N != 1 {
+				t.Fatalf("acked sentinel %d present %d times after recovery", s, res.N)
+			}
+		}
+	}
+	if total != writers*perWriter {
+		t.Fatalf("acked %d of %d healthy inserts", total, writers*perWriter)
+	}
+	CloseDurable(rec)
+	CloseDurable(e)
+}
+
+// TestDurableFaultInjection drives the durable engine over a fault-
+// injecting file (torn writes, short writes, fsync errors) and pins the
+// ack contract: writes errored by injected faults return -1 and poison the
+// store, recovery from the damaged image succeeds by truncating the torn
+// tail, every acked write survives exactly once, and nothing that was
+// never submitted appears.
+func TestDurableFaultInjection(t *testing.T) {
+	var e Engine
+	var dir string
+	opts := func(seed int64) DurableOptions {
+		return DurableOptions{
+			Sync:            wal.SyncAlways,
+			CheckpointBytes: -1,
+			Wrap: func(f wal.File) wal.File {
+				return faultnet.WrapFile(f, faultnet.MixFS(0.04, seed))
+			},
+		}
+	}
+	// The injector can kill the open itself (the segment-marker append);
+	// scan seeds until an open survives, keeping the run deterministic.
+	seed := int64(0)
+	for ; seed < 50; seed++ {
+		dir = t.TempDir()
+		var err error
+		e, err = OpenDurable(SelCrack, durSeedRel(), dir, opts(seed))
+		if err == nil {
+			break
+		}
+	}
+	if e == nil {
+		t.Fatal("no seed produced a successful open")
+	}
+
+	var acked []store.Value
+	refused := 0
+	for i := 0; i < 300; i++ {
+		s := durSentinelBase + store.Value(i)
+		if key := e.Insert(s, store.Value(i%9), store.Value(i%13)); key >= 0 {
+			acked = append(acked, s)
+		} else {
+			refused++
+		}
+		if i%19 == 4 {
+			e.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Range(store.Value(i), store.Value(i+400))}}, Projs: []string{"C"}})
+		}
+	}
+	st, _ := DurStatsOf(e)
+	if refused == 0 || st.WriteErrs == 0 {
+		t.Fatalf("fault mix injected nothing over 300 writes (seed %d)", seed)
+	}
+	if len(acked) == 0 {
+		t.Fatalf("every write failed (seed %d): first fault should not precede all acks", seed)
+	}
+	t.Logf("seed=%d acked=%d refused=%d", seed, len(acked), refused)
+
+	// Recover the damaged image (no clean shutdown, torn tail likely).
+	crashDir := filepath.Join(t.TempDir(), "crash")
+	copyDurDir(t, dir, crashDir)
+	rec, err := OpenDurable(SelCrack, nil, crashDir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery over damaged image: %v", err)
+	}
+	rst, _ := DurStatsOf(rec)
+	if !rst.Recovered || rst.CleanShutdown {
+		t.Fatalf("damaged image stats: %+v", rst)
+	}
+	for _, s := range acked {
+		res, _ := rec.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Point(s)}}, Projs: []string{"A"}})
+		if res.N != 1 {
+			t.Fatalf("acked sentinel %d present %d times (seed %d)", s, res.N, seed)
+		}
+	}
+	// No phantoms: every surviving sentinel was actually submitted.
+	res, _ := rec.Query(Query{Preds: []AttrPred{{Attr: "A", Pred: store.Range(durSentinelBase, durSentinelBase+300)}}, Projs: []string{"A"}})
+	if res.N < len(acked) || res.N > 300 {
+		t.Fatalf("recovered %d sentinels, acked %d, submitted 300", res.N, len(acked))
+	}
+	CloseDurable(rec)
+}

@@ -1,0 +1,104 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memSink collects writes so tests can inspect what "hit disk".
+type memSink struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memSink) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memSink) Sync() error                 { m.syncs++; return nil }
+func (m *memSink) Close() error                { m.closed = true; return nil }
+
+func TestFaultFilePassThroughAtZeroRate(t *testing.T) {
+	sink := &memSink{}
+	f := WrapFile(sink, FSFaults{Seed: 1})
+	for i := 0; i < 100; i++ {
+		if n, err := f.Write([]byte("abcd")); n != 4 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if sink.buf.Len() != 400 || sink.syncs != 100 {
+		t.Fatalf("pass-through mangled: len=%d syncs=%d", sink.buf.Len(), sink.syncs)
+	}
+	if err := f.Close(); err != nil || !sink.closed {
+		t.Fatalf("close: %v closed=%v", err, sink.closed)
+	}
+}
+
+func TestFaultFileInjectsDeterministically(t *testing.T) {
+	run := func() (written int, faults int, tornPrefixes []int) {
+		sink := &memSink{}
+		f := WrapFile(sink, MixFS(0.3, 42))
+		for i := 0; i < 200; i++ {
+			before := sink.buf.Len()
+			n, err := f.Write([]byte("0123456789"))
+			if err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("non-injected error: %v", err)
+				}
+				faults++
+				tornPrefixes = append(tornPrefixes, sink.buf.Len()-before)
+				continue
+			}
+			if n != 10 {
+				t.Fatalf("clean write returned n=%d", n)
+			}
+			written++
+		}
+		return
+	}
+	w1, f1, p1 := run()
+	w2, f2, p2 := run()
+	if w1 != w2 || f1 != f2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", w1, f1, w2, f2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("torn prefix lengths diverged at %d: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+	if f1 == 0 {
+		t.Fatal("0.3 mix over 200 writes injected nothing")
+	}
+	// A torn or short write persists a strict prefix, never the whole
+	// buffer, never extra bytes.
+	for _, p := range p1 {
+		if p < 0 || p >= 10 {
+			t.Fatalf("injected write persisted %d of 10 bytes", p)
+		}
+	}
+}
+
+func TestFaultFileSyncErrors(t *testing.T) {
+	sink := &memSink{}
+	f := WrapFile(sink, FSFaults{Seed: 7, SyncErrRate: 0.5})
+	var failed, passed int
+	for i := 0; i < 100; i++ {
+		if err := f.Sync(); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("non-injected sync error: %v", err)
+			}
+			failed++
+		} else {
+			passed++
+		}
+	}
+	if failed == 0 || passed == 0 {
+		t.Fatalf("sync fault mix degenerate: failed=%d passed=%d", failed, passed)
+	}
+	// A failed Sync must not have synced.
+	if sink.syncs != passed {
+		t.Fatalf("underlying syncs=%d but only %d passed", sink.syncs, passed)
+	}
+}

@@ -101,30 +101,46 @@ func NewInjector(f Faults) *Injector {
 	return &Injector{f: f, r: rand.New(rand.NewSource(f.Seed))}
 }
 
-// decide draws the fault (if any) for one operation. A single draw decides
-// among the faults so their rates are independent of evaluation order.
-func (in *Injector) decide(write bool) (fault byte, delay time.Duration, cut float64) {
+// pick is the seeded per-operation draw every fault wrapper shares (Conn
+// on the network side, FaultFile on the storage side). One uniform draw
+// walks the cumulative distribution over rates — so each rate is the
+// marginal probability of its fault, independent of evaluation order — and
+// a second draw (cut) parameterizes whichever fault fired (prefix length,
+// delay fraction, byte position). Exactly two draws per operation, always,
+// which is what keeps a run reproducible per seed across refactors.
+func (in *Injector) pick(rates []float64) (choice int, cut float64) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	x := in.r.Float64()
 	cut = in.r.Float64()
+	for i, rate := range rates {
+		if x -= rate; x < 0 {
+			return i, cut
+		}
+	}
+	return -1, cut
+}
+
+// decide draws the fault (if any) for one network operation. Read-side
+// operations keep zero-rate slots for the write-only faults so the draw
+// sequence (and thus every seeded run) is unchanged by the shared core.
+func (in *Injector) decide(write bool) (fault byte, delay time.Duration, cut float64) {
 	f := in.f
-	// Walk the cumulative distribution.
-	if x -= f.ResetRate; x < 0 {
-		return 'R', 0, cut
-	}
+	rates := [5]float64{f.ResetRate, 0, 0, 0, f.DelayRate}
 	if write {
-		if x -= f.CorruptRate; x < 0 {
-			return 'C', 0, cut
-		}
-		if x -= f.PartialWriteRate; x < 0 {
-			return 'P', 0, cut
-		}
-		if x -= f.TruncateRate; x < 0 {
-			return 'T', 0, cut
-		}
+		rates[1], rates[2], rates[3] = f.CorruptRate, f.PartialWriteRate, f.TruncateRate
 	}
-	if x -= f.DelayRate; x < 0 {
+	choice, cut := in.pick(rates[:])
+	switch choice {
+	case 0:
+		return 'R', 0, cut
+	case 1:
+		return 'C', 0, cut
+	case 2:
+		return 'P', 0, cut
+	case 3:
+		return 'T', 0, cut
+	case 4:
 		span := f.DelayMax - f.DelayMin
 		if span < 0 {
 			span = 0

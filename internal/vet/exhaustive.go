@@ -8,15 +8,16 @@ import (
 )
 
 // Exhaustive requires every switch over the protocol and engine enums —
-// wire.Op, wire.Status, engine.Kind — to either cover every constant
-// declared for the type or carry an explicit default arm. The enums grow
-// (a new op, a new status, a new engine kind), and a switch silently
-// falling through on the new value is how a decoder mis-frames or a
-// dispatcher drops a request; the default arm forces each site to decide
-// its unknown-value behavior.
+// wire.Op, wire.Status, engine.Kind, wal.RecType — to either cover every
+// constant declared for the type or carry an explicit default arm. The
+// enums grow (a new op, a new status, a new engine kind, a new WAL record
+// type), and a switch silently falling through on the new value is how a
+// decoder mis-frames, a dispatcher drops a request, or recovery skips a
+// logged write; the default arm forces each site to decide its
+// unknown-value behavior.
 var Exhaustive = &Checker{
 	Name: "exhaustive",
-	Doc:  "switches over wire.Op, wire.Status, engine.Kind must be exhaustive or have a default",
+	Doc:  "switches over wire.Op, wire.Status, engine.Kind, wal.RecType must be exhaustive or have a default",
 	Run:  runExhaustive,
 }
 
@@ -26,6 +27,7 @@ var exhaustiveTypes = map[string]bool{
 	"wire.Op":     true,
 	"wire.Status": true,
 	"engine.Kind": true,
+	"wal.RecType": true,
 }
 
 func runExhaustive(pass *Pass) {

@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// File names inside a durable data directory.
+const (
+	checkpointFile = "checkpoint"
+	cleanFile      = "CLEAN"
+	segmentPrefix  = "wal."
+	segmentSuffix  = ".log"
+)
+
+// checkpointVersion guards the checkpoint payload layout.
+const checkpointVersion = 1
+
+// Checkpoint is a full materialized snapshot of a durable store: the base
+// columns, the tombstoned keys, and the crack tape accumulated since the
+// relation was seeded. Recovery rebuilds the relation from Cols/Dead and
+// replays Tape to re-crack the same layout, then applies the WAL segment
+// tail on top.
+type Checkpoint struct {
+	Seq   uint64
+	Name  string   // relation name
+	Attrs []string // attribute order
+	Cols  [][]Value
+	Dead  []int    // deleted tuple keys (tombstones), in delete order
+	Tape  []Record // RecCrack records, in query order
+}
+
+// SegmentPath returns the WAL segment file for checkpoint sequence seq.
+// Each checkpoint opens a fresh segment, so "which WAL bytes postdate the
+// checkpoint" is answered by file identity, never by offsets into a shared
+// file — offsets would be ambiguous after a crash that loses unsynced WAL
+// tail while the (separately fsynced) checkpoint survives.
+func SegmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix))
+}
+
+// RemoveSegmentsExcept deletes every WAL segment in dir other than keep's.
+// Best-effort: a leftover segment wastes disk but cannot corrupt recovery,
+// since recovery only ever reads the segment named by the checkpoint.
+func RemoveSegmentsExcept(dir string, keep uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keepName := filepath.Base(SegmentPath(dir, keep))
+	for _, e := range ents {
+		name := e.Name()
+		if name == keepName || !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// WriteCheckpoint atomically replaces dir's checkpoint: encode, write to a
+// temp file, fsync it, rename over the checkpoint name, fsync the
+// directory. A crash at any point leaves either the old checkpoint or the
+// new one, never a torn hybrid (the single-frame CRC would expose one
+// anyway).
+func WriteCheckpoint(dir string, cp *Checkpoint) error {
+	payload := appendCheckpointPayload(nil, cp)
+	framed := make([]byte, 0, frameHeader+len(payload))
+	framed = append(framed, make([]byte, frameHeader)...)
+	framed = append(framed, payload...)
+	n := uint32(len(payload))
+	binary.BigEndian.PutUint32(framed, n)
+	binary.BigEndian.PutUint32(framed[4:], n^lenEcho)
+	binary.BigEndian.PutUint32(framed[8:], crc32.ChecksumIEEE(payload))
+
+	tmp := filepath.Join(dir, checkpointFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(framed); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadCheckpoint reads dir's checkpoint. A missing file returns (nil, nil)
+// — a fresh directory. Any framing or decode failure is a hard error: the
+// checkpoint is written atomically, so a bad one is not a torn tail to
+// shrug off but corruption that recovery must surface.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	b, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < frameHeader {
+		return nil, fmt.Errorf("wal: checkpoint too short: %d bytes", len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n^lenEcho != binary.BigEndian.Uint32(b[4:]) {
+		return nil, fmt.Errorf("wal: checkpoint header echo mismatch")
+	}
+	if int64(n) != int64(len(b)-frameHeader) {
+		return nil, fmt.Errorf("wal: checkpoint length %d does not match file body %d", n, len(b)-frameHeader)
+	}
+	payload := b[frameHeader:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(b[8:]) {
+		return nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	return decodeCheckpointPayload(payload)
+}
+
+func appendCheckpointPayload(dst []byte, cp *Checkpoint) []byte {
+	dst = append(dst, checkpointVersion)
+	dst = binary.AppendUvarint(dst, cp.Seq)
+	dst = appendString(dst, cp.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(cp.Attrs)))
+	for _, a := range cp.Attrs {
+		dst = appendString(dst, a)
+	}
+	rows := 0
+	if len(cp.Cols) > 0 {
+		rows = len(cp.Cols[0])
+	}
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	for _, col := range cp.Cols {
+		if len(col) != rows {
+			panic("wal: checkpoint with ragged columns")
+		}
+		for _, v := range col {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cp.Dead)))
+	for _, k := range cp.Dead {
+		dst = binary.AppendUvarint(dst, uint64(k))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cp.Tape)))
+	for _, rec := range cp.Tape {
+		p := AppendPayload(nil, rec)
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+func decodeCheckpointPayload(payload []byte) (*Checkpoint, error) {
+	r := reader{b: payload}
+	if v := r.u8(); v != checkpointVersion {
+		return nil, fmt.Errorf("wal: checkpoint version %d (want %d)", v, checkpointVersion)
+	}
+	cp := &Checkpoint{Seq: r.uvarint(), Name: r.str()}
+	nattrs := int(r.uvarint())
+	if r.err || nattrs < 0 || nattrs > r.remaining() {
+		return nil, ErrCorrupt
+	}
+	cp.Attrs = make([]string, 0, nattrs)
+	for i := 0; i < nattrs; i++ {
+		cp.Attrs = append(cp.Attrs, r.str())
+	}
+	rows := int(r.uvarint())
+	if r.err || rows < 0 || nattrs > 0 && rows > r.remaining()/(8*nattrs) {
+		return nil, ErrCorrupt
+	}
+	cp.Cols = make([][]Value, nattrs)
+	for i := range cp.Cols {
+		cp.Cols[i] = r.vals(rows)
+	}
+	ndead := int(r.uvarint())
+	if r.err || ndead < 0 || ndead > r.remaining() {
+		return nil, ErrCorrupt
+	}
+	cp.Dead = make([]int, 0, ndead)
+	for i := 0; i < ndead; i++ {
+		cp.Dead = append(cp.Dead, int(r.uvarint()))
+	}
+	ntape := int(r.uvarint())
+	if r.err || ntape < 0 || ntape > r.remaining() {
+		return nil, ErrCorrupt
+	}
+	cp.Tape = make([]Record, 0, ntape)
+	for i := 0; i < ntape; i++ {
+		n := int(r.uvarint())
+		if r.err || n < 0 || n > r.remaining() {
+			return nil, ErrCorrupt
+		}
+		rec, err := DecodeRecord(r.b[r.off : r.off+n])
+		if err != nil {
+			return nil, err
+		}
+		r.off += n
+		cp.Tape = append(cp.Tape, rec)
+	}
+	if r.err || r.remaining() != 0 {
+		return nil, ErrCorrupt
+	}
+	return cp, nil
+}
+
+// WriteCleanMarker records a clean shutdown: checkpoint seq and the exact
+// segment size at close. On the next open, a marker matching the on-disk
+// state means recovery can trust the shutdown was orderly (nothing was
+// torn, nothing needs the "replayed" label).
+func WriteCleanMarker(dir string, seq uint64, walSize int64) error {
+	path := filepath.Join(dir, cleanFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d %d\n", seq, walSize); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// TakeCleanMarker reads and removes the clean-shutdown marker. ok reports
+// whether a parseable marker existed; the marker is removed either way so
+// a subsequent crash cannot masquerade as clean.
+func TakeCleanMarker(dir string) (seq uint64, walSize int64, ok bool) {
+	path := filepath.Join(dir, cleanFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false
+	}
+	os.Remove(path)
+	syncDir(dir)
+	if _, err := fmt.Sscanf(string(b), "%d %d", &seq, &walSize); err != nil {
+		return 0, 0, false
+	}
+	return seq, walSize, true
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// SyncMode selects when an append becomes durable.
+type SyncMode int
+
+const (
+	// SyncGroup (the default) makes every acked append wait for an fsync
+	// covering it, but lets concurrent appends share fsyncs: one waiter
+	// drives the Sync syscall while the others piggyback on its barrier.
+	// Same loss guarantee as SyncAlways, far fewer syscalls under load.
+	SyncGroup SyncMode = iota
+	// SyncAlways fsyncs eagerly after every append. Under concurrency it
+	// degenerates to group commit anyway (a sync in flight covers queued
+	// appends), so the difference from SyncGroup is only visible for a
+	// strictly serial writer.
+	SyncAlways
+	// SyncNone never waits: appends are acked after the OS write alone.
+	// A crash may lose the acked tail — this mode is excluded from the
+	// zero-acked-write-loss guarantee and exists for bulk loads and
+	// benchmark baselines.
+	SyncNone
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncGroup:
+		return "group"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("syncmode(%d)", int(m))
+}
+
+// ParseSyncMode parses the -fsync flag values.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "group":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync mode %q (want group, always, or none)", s)
+}
+
+// File is the storage a Log writes to: *os.File satisfies it, and the
+// faultfs wrapper in internal/faultnet injects torn writes, short writes,
+// and fsync errors through the same seam.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options configures a Log.
+type Options struct {
+	Sync SyncMode
+	// Wrap, if set, wraps the opened file before use (fault injection).
+	Wrap func(File) File
+}
+
+// ErrPoisoned reports an append refused because an earlier write or fsync
+// failed. After a storage error the log's durable prefix is unknowable, so
+// the log stops acking permanently (the PostgreSQL fsync-gate lesson:
+// retrying fsync after failure silently drops the dirty pages), and the
+// caller must recover from the on-disk state.
+var ErrPoisoned = errors.New("wal: log poisoned by earlier storage error")
+
+// Stats counts log activity.
+type Stats struct {
+	Appends int64 // records appended
+	Bytes   int64 // bytes written
+	Fsyncs  int64 // Sync syscalls issued
+	// GroupCommits counts appends whose durability wait was satisfied by
+	// an fsync another append drove — the group-commit win.
+	GroupCommits int64
+}
+
+// Log is a CRC-framed append-only record log with group-commit fsync.
+type Log struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when synced advances or err latches
+
+	f    File
+	mode SyncMode
+
+	written int64 // bytes handed to f.Write without error
+	synced  int64 // bytes covered by a successful Sync
+	syncing bool  // a waiter is inside f.Sync
+
+	err error // sticky first storage error
+
+	stats Stats
+
+	buf []byte // encode scratch, reused under mu
+}
+
+// OpenLog opens (creating if needed) the log file at path, truncates any
+// torn tail to the longest valid record prefix, and positions appends at
+// the end. The second return is the number of torn-tail bytes discarded.
+func OpenLog(path string, opts Options) (*Log, int64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, 0, err
+	}
+	valid, err := Scan(b, func(int64, Record) error { return nil })
+	if err != nil {
+		return nil, 0, err
+	}
+	torn := int64(len(b)) - valid
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	if torn > 0 {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	l := newLog(f, valid, opts)
+	return l, torn, nil
+}
+
+// NewLog wraps an already-positioned file whose first size bytes are valid
+// records. Tests use it to drive in-memory and fault-injecting files.
+func NewLog(f File, size int64, opts Options) *Log {
+	return newLog(f, size, opts)
+}
+
+func newLog(f File, size int64, opts Options) *Log {
+	if opts.Wrap != nil {
+		f = opts.Wrap(f)
+	}
+	l := &Log{f: f, mode: opts.Sync, written: size, synced: size}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// AppendBuffered frames and writes rec under the log lock, returning the
+// log size after the record. The record is in the OS buffer but not yet
+// durable; pass the returned end to WaitDurable before acking. Callers
+// that hold their own ordering lock across AppendBuffered get log order ==
+// apply order, which is what makes replay reproduce their state.
+func (l *Log) AppendBuffered(rec Record) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, ErrPoisoned
+	}
+	l.buf = AppendRecord(l.buf[:0], rec)
+	n, err := l.f.Write(l.buf)
+	if err != nil {
+		// A short or torn write leaves bytes past l.written that recovery
+		// will scan; they are at worst a torn tail (the frame CRC cannot
+		// validate a half-written record) so the on-disk image stays
+		// recoverable — but this log can no longer know its durable end.
+		l.poisonLocked(fmt.Errorf("wal: append write: %w", err))
+		return 0, l.err
+	}
+	if n != len(l.buf) {
+		l.poisonLocked(fmt.Errorf("wal: append short write: %d of %d bytes", n, len(l.buf)))
+		return 0, l.err
+	}
+	l.written += int64(len(l.buf))
+	l.stats.Appends++
+	l.stats.Bytes += int64(len(l.buf))
+	return l.written, nil
+}
+
+// WaitDurable blocks until the log is durable through offset end (or
+// returns immediately under SyncNone). Concurrent waiters elect one to
+// drive the Sync syscall; the rest sleep on the condvar and are covered by
+// whatever sync lands past their offset — group commit.
+func (l *Log) WaitDurable(end int64) error {
+	if l.mode == SyncNone {
+		return nil
+	}
+	piggybacked := false
+	for {
+		l.mu.Lock()
+		if l.err != nil {
+			err := l.err
+			l.mu.Unlock()
+			return err
+		}
+		if l.synced >= end {
+			if piggybacked {
+				l.stats.GroupCommits++
+			}
+			l.mu.Unlock()
+			return nil
+		}
+		if l.syncing {
+			piggybacked = true
+			l.cond.Wait()
+			l.mu.Unlock()
+			continue
+		}
+		l.syncing = true
+		// Snapshot the written frontier: the fsync covers every byte
+		// written before the syscall starts, including appends that landed
+		// while we were waiting.
+		target := l.written
+		l.mu.Unlock()
+		l.syncOnce(target)
+	}
+}
+
+// syncOnce drives one Sync syscall (caller set l.syncing) and publishes
+// the outcome.
+func (l *Log) syncOnce(target int64) {
+	err := l.f.Sync()
+	l.mu.Lock()
+	l.syncing = false
+	l.stats.Fsyncs++
+	if err != nil {
+		l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
+	} else if target > l.synced {
+		l.synced = target
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Append writes rec and waits for durability per the sync mode. It is the
+// one-call form for callers without their own ordering lock.
+func (l *Log) Append(rec Record) error {
+	end, err := l.AppendBuffered(rec)
+	if err != nil {
+		return err
+	}
+	return l.WaitDurable(end)
+}
+
+// Sync forces durability of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	end := l.written
+	l.mu.Unlock()
+	if end == 0 {
+		return l.Err()
+	}
+	// WaitDurable honors SyncNone by returning immediately; a manual Sync
+	// should flush even then (clean shutdown under -fsync none).
+	if l.mode == SyncNone {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.err != nil {
+			return l.err
+		}
+		if err := l.f.Sync(); err != nil {
+			l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
+			return l.err
+		}
+		l.stats.Fsyncs++
+		if end > l.synced {
+			l.synced = end
+		}
+		return nil
+	}
+	return l.WaitDurable(end)
+}
+
+// Size returns the log size in bytes (written, not necessarily synced).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.written
+}
+
+// Err returns the sticky storage error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats returns a snapshot of the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close closes the underlying file without syncing (callers that need a
+// durable close call Sync first). It waits out any fsync in flight, so a
+// concurrent WaitDurable can never have its syscall yanked to EBADF —
+// which would poison the log and fail acks whose data is actually durable.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	return l.f.Close()
+}
+
+func (l *Log) poisonLocked(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	l.cond.Broadcast()
+}

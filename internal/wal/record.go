@@ -1,0 +1,354 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"crackstore/internal/store"
+)
+
+// Value aliases the kernel value type.
+type Value = store.Value
+
+// RecType identifies one write-ahead-log record kind.
+type RecType byte
+
+// Record types. The enum is covered by crackvet's exhaustive checker: a
+// switch over RecType must either handle every constant or carry a default
+// arm, so adding a record kind cannot silently fall through a replay loop.
+const (
+	// RecInsert is an acked insert batch: Width values per tuple, in
+	// relation attribute order, replayed as sequential appends (keys are
+	// assigned by position, so log order reproduces the original keys).
+	RecInsert RecType = 1
+	// RecDelete is an acked delete batch of tuple keys.
+	RecDelete RecType = 2
+	// RecCrack is one entry of the crack tape: the predicate/projection
+	// shape of a query that physically reorganized the store. Replaying the
+	// tape re-runs those queries against the recovered base data, which
+	// re-cracks the same pieces — the reorganization investment survives
+	// the restart. Crack records are redo-only optimization: losing an
+	// unsynced tail of the tape costs warmth, never correctness.
+	RecCrack RecType = 3
+	// RecCheckpoint marks the head of a fresh log segment with the
+	// checkpoint sequence number that opened it, so recovery can detect a
+	// segment that does not belong to the checkpoint next to it.
+	RecCheckpoint RecType = 4
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecInsert:
+		return "insert"
+	case RecDelete:
+		return "delete"
+	case RecCrack:
+		return "crack"
+	case RecCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("rectype(%d)", byte(t))
+}
+
+// PredRec is one attribute predicate of a crack-tape record.
+type PredRec struct {
+	Attr string
+	Pred store.Pred
+}
+
+// Record is one decoded WAL record. Only the fields of its Type are
+// meaningful.
+type Record struct {
+	Type RecType
+
+	// RecInsert: Width values per tuple, len(Vals)/Width tuples.
+	Width int
+	Vals  []Value
+
+	// RecDelete: tuple keys.
+	Keys []int
+
+	// RecCrack: the reorganizing query's shape.
+	Preds       []PredRec
+	Projs       []string
+	Disjunctive bool
+
+	// RecCheckpoint: the checkpoint sequence that opened this segment.
+	Seq uint64
+}
+
+// Framing constants. The header reuses the internal/wire idiom: the
+// payload length travels twice — once plain, once XOR-masked — so a reader
+// validates the length before trusting it, and a CRC-32 of the payload
+// turns silent byte corruption into a detectable torn tail instead of a
+// wrong replay. An all-zero header (common torn-write shape) never
+// validates because of the mask.
+const (
+	frameHeader = 12
+	lenEcho     = 0x5AC3A55A
+
+	// MaxRecord caps a single record frame. A length prefix above it is
+	// treated as a torn tail, so a corrupt header cannot make recovery
+	// allocate gigabytes.
+	MaxRecord = 16 << 20
+)
+
+// Codec errors.
+var (
+	// ErrCorrupt reports a CRC-valid payload that does not decode cleanly:
+	// not a torn tail (the checksum passed) but a version skew or a bug,
+	// which recovery must refuse rather than guess at.
+	ErrCorrupt = errors.New("wal: corrupt record payload")
+)
+
+// AppendPayload appends the frameless encoding of rec to dst.
+func AppendPayload(dst []byte, rec Record) []byte {
+	dst = append(dst, byte(rec.Type))
+	switch rec.Type {
+	case RecInsert:
+		dst = binary.AppendUvarint(dst, uint64(rec.Width))
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Vals)))
+		for _, v := range rec.Vals {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case RecDelete:
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Keys)))
+		for _, k := range rec.Keys {
+			dst = binary.AppendUvarint(dst, uint64(k))
+		}
+	case RecCrack:
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Preds)))
+		for _, p := range rec.Preds {
+			dst = appendString(dst, p.Attr)
+			dst = binary.AppendVarint(dst, p.Pred.Lo)
+			dst = binary.AppendVarint(dst, p.Pred.Hi)
+			var flags byte
+			if p.Pred.LoIncl {
+				flags |= 1
+			}
+			if p.Pred.HiIncl {
+				flags |= 2
+			}
+			dst = append(dst, flags)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Projs)))
+		for _, s := range rec.Projs {
+			dst = appendString(dst, s)
+		}
+		if rec.Disjunctive {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case RecCheckpoint:
+		dst = binary.AppendUvarint(dst, rec.Seq)
+	default:
+		panic(fmt.Sprintf("wal: encoding unknown record type %d", rec.Type))
+	}
+	return dst
+}
+
+// AppendRecord appends the framed encoding of rec to dst.
+func AppendRecord(dst []byte, rec Record) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeader)...)
+	dst = AppendPayload(dst, rec)
+	payload := dst[start+frameHeader:]
+	n := uint32(len(payload))
+	binary.BigEndian.PutUint32(dst[start:], n)
+	binary.BigEndian.PutUint32(dst[start+4:], n^lenEcho)
+	binary.BigEndian.PutUint32(dst[start+8:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// DecodeRecord decodes a frameless record payload. Decoding is strict:
+// every read is bounds-checked, trailing garbage is an error, and slice
+// preallocations are capped by the bytes actually remaining, so an
+// adversarial payload can neither panic the decoder nor force a large
+// allocation (FuzzRecordCodec pins both properties).
+func DecodeRecord(payload []byte) (Record, error) {
+	r := reader{b: payload}
+	rec := Record{Type: RecType(r.u8())}
+	switch rec.Type {
+	case RecInsert:
+		rec.Width = int(r.uvarint())
+		n := int(r.uvarint())
+		if rec.Width <= 0 || n < 0 || n%max(rec.Width, 1) != 0 {
+			return Record{}, ErrCorrupt
+		}
+		rec.Vals = r.vals(n)
+	case RecDelete:
+		n := int(r.uvarint())
+		// Each key costs at least one byte, so the remaining bytes bound
+		// the preallocation.
+		if n < 0 || n > r.remaining() {
+			return Record{}, ErrCorrupt
+		}
+		rec.Keys = make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			rec.Keys = append(rec.Keys, int(r.uvarint()))
+		}
+	case RecCrack:
+		n := int(r.uvarint())
+		if n < 0 || n > r.remaining() {
+			return Record{}, ErrCorrupt
+		}
+		rec.Preds = make([]PredRec, 0, n)
+		for i := 0; i < n; i++ {
+			var p PredRec
+			p.Attr = r.str()
+			p.Pred.Lo = r.varint()
+			p.Pred.Hi = r.varint()
+			flags := r.u8()
+			p.Pred.LoIncl = flags&1 != 0
+			p.Pred.HiIncl = flags&2 != 0
+			if flags&^byte(3) != 0 {
+				return Record{}, ErrCorrupt
+			}
+			rec.Preds = append(rec.Preds, p)
+		}
+		m := int(r.uvarint())
+		if m < 0 || m > r.remaining() {
+			return Record{}, ErrCorrupt
+		}
+		rec.Projs = make([]string, 0, m)
+		for i := 0; i < m; i++ {
+			rec.Projs = append(rec.Projs, r.str())
+		}
+		switch r.u8() {
+		case 0:
+		case 1:
+			rec.Disjunctive = true
+		default:
+			return Record{}, ErrCorrupt
+		}
+	case RecCheckpoint:
+		rec.Seq = r.uvarint()
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, byte(rec.Type))
+	}
+	if r.err || r.remaining() != 0 {
+		return Record{}, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// Scan iterates the complete records of b, calling fn for each with the
+// record's starting offset. It returns the length of the longest valid
+// record prefix: a torn or corrupted tail — truncated header, length echo
+// mismatch, missing payload bytes, checksum failure — ends the scan there
+// without error, which is exactly the crash-recovery contract (nothing
+// past a torn record can be trusted). A CRC-valid record that fails strict
+// decoding is a hard error, not a torn tail. fn's error aborts the scan.
+func Scan(b []byte, fn func(off int64, rec Record) error) (int64, error) {
+	off := 0
+	for {
+		if len(b)-off < frameHeader {
+			return int64(off), nil
+		}
+		n := binary.BigEndian.Uint32(b[off:])
+		echo := binary.BigEndian.Uint32(b[off+4:])
+		if n^lenEcho != echo {
+			return int64(off), nil
+		}
+		if n > MaxRecord || off+frameHeader+int(n) > len(b) {
+			return int64(off), nil
+		}
+		payload := b[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(b[off+8:]) {
+			return int64(off), nil
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return int64(off), fmt.Errorf("wal: record at offset %d: %w", off, err)
+		}
+		if err := fn(int64(off), rec); err != nil {
+			return int64(off), err
+		}
+		off += frameHeader + int(n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers.
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// reader is a strict bounds-checked decode cursor; any overrun latches err
+// and makes every later read return zero values.
+type reader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) fail() { r.err = true }
+
+func (r *reader) u8() byte {
+	if r.err || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.uvarint())
+	if r.err || n < 0 || n > r.remaining() {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// vals decodes n fixed 8-byte little-endian values; the byte cost is
+// checked before the slice is allocated.
+func (r *reader) vals(n int) []Value {
+	if r.err || n < 0 || n*8 > r.remaining() {
+		r.fail()
+		return nil
+	}
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = Value(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return out
+}
