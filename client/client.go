@@ -45,6 +45,7 @@ import (
 	"bufio"
 
 	"crackstore/internal/engine"
+	"crackstore/internal/obs"
 	"crackstore/internal/store"
 	"crackstore/internal/wire"
 )
@@ -79,6 +80,27 @@ type Options struct {
 	// HedgeAfter fixes the hedge delay; 0 derives it from the observed p99
 	// of recent successful queries (2ms until enough samples exist).
 	HedgeAfter time.Duration
+
+	// Metrics, when non-nil, registers the client's resilience counters
+	// (crack_client_retries_total, ...) into the registry at Dial. The
+	// closures read the same counters Client.Counters snapshots, at scrape
+	// time only. One registry accepts one client (duplicate names panic).
+	Metrics *obs.Registry
+	// TraceSample, when > 0, samples one in TraceSample queries for
+	// end-to-end tracing (rounded up to the next power of two, so the
+	// untraced path stays division-free). Dial negotiates the protocol
+	// version with an
+	// OpHello; a server that does not speak the tracing extension (it
+	// answers Hello with an unknown-op error) silently disables tracing,
+	// so a new client never breaks against an old server. Each sampled
+	// query carries a client-allocated trace ID to the server, and the
+	// assembled trace — client send, server queue/execute/crack, client
+	// recv — is handed to OnTrace.
+	TraceSample int
+	// OnTrace receives each completed trace, synchronously on the calling
+	// goroutine (keep it cheap; tr.WriteJSON to a line-buffered sink is
+	// the intended use). Nil discards traces.
+	OnTrace func(tr *obs.Trace)
 }
 
 func (o Options) withDefaults() Options {
@@ -129,6 +151,17 @@ type Counters struct {
 	Redials   uint64 // pool connections re-established after eviction
 }
 
+// counters holds the live atomic counters behind Counters. One struct
+// (rather than loose fields) so the snapshot method and the metrics
+// bridge observably read the same instruments.
+type counters struct {
+	retries   obs.Counter
+	hedges    obs.Counter
+	hedgeWins obs.Counter
+	sheds     obs.Counter
+	redials   obs.Counter
+}
+
 // Client is a pooled, multiplexing connection to a remote engine.
 type Client struct {
 	addr  string
@@ -143,11 +176,8 @@ type Client struct {
 	lat     latRing
 	closed  atomic.Bool
 
-	ctrRetries   atomic.Uint64
-	ctrHedges    atomic.Uint64
-	ctrHedgeWins atomic.Uint64
-	ctrSheds     atomic.Uint64
-	ctrRedials   atomic.Uint64
+	ctr     counters
+	sampler *obs.Sampler // nil unless tracing was enabled AND negotiated
 }
 
 // Dial connects to a crackserved daemon at addr.
@@ -162,7 +192,28 @@ func Dial(addr string, opts Options) (*Client, error) {
 		}
 		c.slots = append(c.slots, &slot{cn: newConn(nc, opts.MaxFrame)})
 	}
+	if opts.TraceSample > 0 && c.hello() {
+		c.sampler = obs.NewSampler(opts.TraceSample)
+	}
+	if r := opts.Metrics; r != nil {
+		r.CounterFunc("crack_client_retries_total", "re-attempts after a retryable failure", c.ctr.retries.Value)
+		r.CounterFunc("crack_client_hedges_total", "hedge requests fired", c.ctr.hedges.Value)
+		r.CounterFunc("crack_client_hedge_wins_total", "hedges whose answer arrived first", c.ctr.hedgeWins.Value)
+		r.CounterFunc("crack_client_sheds_total", "StatusOverloaded responses observed", c.ctr.sheds.Value)
+		r.CounterFunc("crack_client_redials_total", "pool connections re-established after eviction", c.ctr.redials.Value)
+	}
 	return c, nil
+}
+
+// hello negotiates the protocol version, reporting whether the server
+// speaks the tracing extension (version 2+). An old server answers the
+// unknown op with an in-band error — that, and any transport failure,
+// reads as "no": tracing downgrades silently, the client still works.
+func (c *Client) hello() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.DialTimeout)
+	defer cancel()
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpHello, Version: wire.ProtoVersion})
+	return err == nil && resp.Status == wire.StatusOK && resp.Version >= 2
 }
 
 // Close closes every pooled connection. In-flight calls fail with ErrClosed.
@@ -181,14 +232,25 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// Counters snapshots the resilience counters.
+// Counters snapshots the resilience counters. The snapshot is relaxed —
+// counters keep moving while it is taken, so the fields need not be
+// mutually consistent to the instant — but it is causally ordered:
+// every counter is loaded before any counter its increments causally
+// follow (HedgeWins is read before Hedges, and a win is only ever
+// recorded after its hedge), so impossible states like
+// HedgeWins > Hedges can never be observed.
 func (c *Client) Counters() Counters {
+	wins := c.ctr.hedgeWins.Value()
+	hedges := c.ctr.hedges.Value()
+	retries := c.ctr.retries.Value()
+	sheds := c.ctr.sheds.Value()
+	redials := c.ctr.redials.Value()
 	return Counters{
-		Retries:   c.ctrRetries.Load(),
-		Hedges:    c.ctrHedges.Load(),
-		HedgeWins: c.ctrHedgeWins.Load(),
-		Sheds:     c.ctrSheds.Load(),
-		Redials:   c.ctrRedials.Load(),
+		Retries:   retries,
+		Hedges:    hedges,
+		HedgeWins: wins,
+		Sheds:     sheds,
+		Redials:   redials,
 	}
 }
 
@@ -241,7 +303,7 @@ func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, e
 		case err == nil && resp.Status == wire.StatusOverloaded:
 			// An in-band shed: the server refused before executing, so a
 			// backed-off retry is always safe.
-			c.ctrSheds.Add(1)
+			c.ctr.sheds.Inc()
 			lastErr = ErrOverloaded
 		case err == nil:
 			return resp, nil
@@ -260,7 +322,7 @@ func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, e
 		if attempt >= c.opts.MaxRetries {
 			return nil, lastErr
 		}
-		c.ctrRetries.Add(1)
+		c.ctr.retries.Inc()
 		// Jittered exponential backoff: uniform in [backoff/2, backoff),
 		// so a burst of failing callers decorrelates instead of
 		// re-stampeding the server in lockstep.
@@ -319,7 +381,12 @@ func (c *Client) Query(q engine.Query) (engine.Result, engine.Cost, error) {
 // server uses to skip already-expired work.
 func (c *Client) QueryContext(ctx context.Context, q engine.Query) (engine.Result, engine.Cost, error) {
 	t0 := time.Now()
-	resp, err := c.call(ctx, &wire.Request{Op: wire.OpQuery, Query: q})
+	req := &wire.Request{Op: wire.OpQuery, Query: q}
+	traced := c.traceStart(req)
+	resp, err := c.call(ctx, req)
+	if traced {
+		c.finishTrace(req, t0, resp, err)
+	}
 	if err != nil {
 		return engine.Result{}, engine.Cost{}, err
 	}
@@ -344,15 +411,74 @@ func (c *Client) QueryROContext(ctx context.Context, q engine.Query) (engine.Res
 	t0 := time.Now()
 	var resp *wire.Response
 	var err error
-	if c.opts.Hedge && len(c.slots) > 1 {
+	req := &wire.Request{Op: wire.OpQueryRO, Query: q}
+	// A sampled call skips hedging: one trace must describe one
+	// request's life, not the interleaving of a race.
+	if traced := c.traceStart(req); traced {
+		resp, err = c.call(ctx, req)
+		c.finishTrace(req, t0, resp, err)
+	} else if c.opts.Hedge && len(c.slots) > 1 {
 		resp, err = c.hedged(ctx, q)
 	} else {
-		resp, err = c.call(ctx, &wire.Request{Op: wire.OpQueryRO, Query: q})
+		resp, err = c.call(ctx, req)
 	}
 	if err != nil {
 		return engine.Result{}, engine.Cost{}, false, err
 	}
 	return c.roResult(resp, t0)
+}
+
+// traceStart makes the 1-in-N sampling decision for one query, stamping
+// the request with a fresh trace ID when sampled. The untraced path is
+// one atomic add.
+func (c *Client) traceStart(req *wire.Request) bool {
+	id, ok := c.sampler.Next()
+	if ok {
+		req.Trace = id
+	}
+	return ok
+}
+
+// finishTrace assembles the end-to-end trace of a completed sampled call
+// and hands it to OnTrace. Server spans arrive anchored at request
+// receipt; the client cannot read the server's clock, so the round-trip
+// slack (total minus the server-side window) is split evenly between the
+// send and recv spans — the classic symmetric-delay assumption. Stage
+// starts are monotonic by construction.
+func (c *Client) finishTrace(req *wire.Request, t0 time.Time, resp *wire.Response, err error) {
+	f := c.opts.OnTrace
+	if f == nil {
+		return
+	}
+	total := time.Since(t0)
+	tr := obs.Trace{ID: req.Trace, Op: req.Op.String(), Total: total}
+	var server []obs.Span
+	if resp != nil {
+		server = resp.Spans
+		tr.Err = resp.Err
+	}
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	var window time.Duration // server-side span window: max span end
+	for _, sp := range server {
+		if end := sp.Start + sp.Dur; end > window {
+			window = end
+		}
+	}
+	slack := total - window
+	if slack < 0 {
+		slack = 0
+	}
+	send := slack / 2
+	tr.Spans = make([]obs.Span, 0, len(server)+2)
+	tr.Spans = append(tr.Spans, obs.Span{Stage: obs.StageClientSend, Start: 0, Dur: send})
+	for _, sp := range server {
+		sp.Start += send
+		tr.Spans = append(tr.Spans, sp)
+	}
+	tr.Spans = append(tr.Spans, obs.Span{Stage: obs.StageClientRecv, Start: send + window, Dur: total - send - window})
+	f(&tr)
 }
 
 // roResult maps a QueryRO response onto the method's return signature.
@@ -400,7 +526,7 @@ func (c *Client) hedged(ctx context.Context, q engine.Query) (*wire.Response, er
 		case r := <-out:
 			if r.err == nil {
 				if r.hedge {
-					c.ctrHedgeWins.Add(1)
+					c.ctr.hedgeWins.Inc()
 				}
 				return r.resp, nil
 			}
@@ -409,7 +535,7 @@ func (c *Client) hedged(ctx context.Context, q engine.Query) (*wire.Response, er
 				r2 := <-out
 				if r2.err == nil {
 					if r2.hedge {
-						c.ctrHedgeWins.Add(1)
+						c.ctr.hedgeWins.Inc()
 					}
 					return r2.resp, nil
 				}
@@ -421,7 +547,7 @@ func (c *Client) hedged(ctx context.Context, q engine.Query) (*wire.Response, er
 			return nil, r.err // primary failed before the hedge fired
 		case <-timer.C:
 			if launched == 1 {
-				c.ctrHedges.Add(1)
+				c.ctr.hedges.Inc()
 				launch(true)
 				launched = 2
 			}
@@ -589,7 +715,7 @@ func (s *slot) get(c *Client) (*conn, error) {
 	s.fails = 0
 	s.lastErr = nil
 	s.cn = newConn(nc, c.opts.MaxFrame)
-	c.ctrRedials.Add(1)
+	c.ctr.redials.Inc()
 	return s.cn, nil
 }
 

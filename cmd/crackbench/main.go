@@ -132,6 +132,8 @@ func main() {
 		durable = flag.Bool("durable", false, "run the durability benchmark: warm restart (crack-tape replay) vs cold rebuild on first-query latency, plus per-insert ack latency under each WAL fsync mode (emits BENCH_durability.json; -json defaults to bench/)")
 		durSmk  = flag.String("durable-smoke", "", "churn a crackserved -data-dir daemon (via -remote) with sentinel inserts until it dies, writing the acked-write manifest to this file for -durable-verify (the CI crash-recovery job)")
 		durVfy  = flag.String("durable-verify", "", "verify a restarted daemon (via -remote) against a -durable-smoke manifest: every acked insert present exactly once; exits nonzero on lost or duplicated acked writes")
+		obsBnch = flag.Bool("obs", false, "run the observability overhead benchmark: the warm serving workload uninstrumented, instrumented-and-scraped, and with 1/1024 trace sampling (emits BENCH_observability.json; -json defaults to bench/)")
+		traceN  = flag.Int("trace", 0, "remote mode: sample 1-in-N queries for end-to-end tracing and print the slowest traces after the run (needs a crackserved started with protocol v2, i.e. any current build)")
 	)
 	flag.Parse()
 
@@ -179,6 +181,19 @@ func main() {
 		return
 	}
 
+	if *obsBnch {
+		runObsBench(obsConfig{
+			Clients: *clients,
+			Rows:    *rows,
+			Queries: *queries,
+			Pool:    *srvPool,
+			Sel:     *srvSel,
+			Seed:    *seed,
+			JSONDir: *jsonDir,
+		})
+		return
+	}
+
 	if *remote != "" && *chaos {
 		runRemoteChaosBench(remoteConfig{
 			Addr:    *remote,
@@ -219,6 +234,7 @@ func main() {
 			Churn:   *srvChrn, // cold ranges need a freshly started daemon to actually be cold
 			Seed:    *seed,
 			JSONDir: *jsonDir,
+			TraceN:  *traceN,
 		})
 		return
 	}

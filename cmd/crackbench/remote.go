@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"crackstore/client"
 	"crackstore/internal/engine"
 	"crackstore/internal/exp"
+	"crackstore/internal/obs"
 	"crackstore/internal/serve"
 	"crackstore/internal/store"
 )
@@ -33,6 +35,7 @@ type remoteConfig struct {
 	Churn   float64 // fraction of queries over cold, never-warmed ranges
 	Seed    int64
 	JSONDir string
+	TraceN  int // sample 1-in-N queries for end-to-end traces (0 = off)
 }
 
 func (c remoteConfig) withDefaults() remoteConfig {
@@ -66,7 +69,23 @@ func (c remoteConfig) pipelineDepth() int {
 // synchronous pipelined requests over the pooled connections, measuring
 // latency from the client side.
 func (c remoteConfig) runRemote(pool []engine.Query) (serve.Stats, int) {
-	cl, err := client.Dial(c.Addr, client.Options{Conns: c.Conns})
+	// With -trace N, 1-in-N requests carry a trace ID over the wire; the
+	// client re-anchors the server's queue/execute/crack spans into its own
+	// timeline and we keep the slowest ones to print after the run.
+	var (
+		traceMu sync.Mutex
+		traces  []*obs.Trace
+	)
+	opts := client.Options{Conns: c.Conns}
+	if c.TraceN > 0 {
+		opts.TraceSample = c.TraceN
+		opts.OnTrace = func(tr *obs.Trace) {
+			traceMu.Lock()
+			traces = append(traces, tr)
+			traceMu.Unlock()
+		}
+	}
+	cl, err := client.Dial(c.Addr, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crackbench: dial %s: %v (is crackserved running with matching -rows/-seed?)\n", c.Addr, err)
 		os.Exit(1)
@@ -141,7 +160,28 @@ func (c remoteConfig) runRemote(pool []engine.Query) (serve.Stats, int) {
 	st := serve.Summarize(all, errs, elapsed)
 	fmt.Printf("%-22s %8d queries  %3d errors  %10.0f q/s  p50=%-8s p95=%-8s p99=%-8s max=%s\n",
 		fmt.Sprintf("remote (%d conns)", c.Conns), st.Queries, st.Errors, st.QPS, st.P50, st.P95, st.P99, st.Max)
+	if c.TraceN > 0 {
+		printSlowestTraces(traces, 10)
+	}
 	return st, serverErrs
+}
+
+// printSlowestTraces prints up to n collected traces, slowest first, as
+// the same one-line JSON the server emits, so the two sides of a trace ID
+// can be grepped together.
+func printSlowestTraces(traces []*obs.Trace, n int) {
+	if len(traces) == 0 {
+		fmt.Println("traces: none collected (is the daemon a current build speaking protocol v2?)")
+		return
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Total > traces[j].Total })
+	if n > len(traces) {
+		n = len(traces)
+	}
+	fmt.Printf("traces: %d collected, %d slowest:\n", len(traces), n)
+	for _, tr := range traces[:n] {
+		tr.WriteJSON(os.Stdout)
+	}
 }
 
 // runRemoteBench is the -remote entry point. It exits nonzero when any

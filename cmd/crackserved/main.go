@@ -48,6 +48,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,7 @@ import (
 	"crackstore/internal/engine"
 	"crackstore/internal/faultnet"
 	"crackstore/internal/netserve"
+	"crackstore/internal/obs"
 	"crackstore/internal/serve"
 	"crackstore/internal/shard"
 	"crackstore/internal/store"
@@ -82,6 +85,8 @@ func main() {
 		faultS   = flag.Int64("fault-seed", 1, "DEBUG: seed for -fault-rate decisions")
 		dataDir  = flag.String("data-dir", "", "durable mode: write-ahead log + checkpoints in this directory; restarts recover the store warm")
 		fsync    = flag.String("fsync", "group", "durable mode fsync policy (group|always|none)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text; ?format=json for JSON) and /debug/pprof/* on this address (empty = off)")
+		traceN   = flag.Int("trace-sample", 0, "server-side sample 1 in N requests for tracing; traces print as one-line JSON events on stderr (0 = off)")
 	)
 	flag.Parse()
 
@@ -145,6 +150,28 @@ func main() {
 		e = engine.New(kind, rel)
 	}
 
+	// The metrics registry observes every layer at scrape time: the engine
+	// bridge (kernel, snapshot, WAL) registers here, and the netserve /
+	// serve layers register their own instruments through Options.Metrics.
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crackserved: metrics listen %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		go http.Serve(mln, mux)
+		fmt.Printf("crackserved: metrics and pprof on http://%s/metrics\n", mln.Addr())
+	}
+
 	opts := netserve.Options{
 		Serve: serve.Options{
 			Workers:    *workers,
@@ -156,6 +183,8 @@ func main() {
 		},
 		MaxFrame:    *maxFrame,
 		MaxInflight: *maxInfl,
+		Metrics:     reg,
+		TraceSample: *traceN, // events go to stderr (netserve's default sink)
 	}
 	var srv *netserve.Server
 	var bound net.Addr
@@ -180,6 +209,10 @@ func main() {
 		}
 		bound = srv.Addr()
 	}
+	// Register the engine bridge against the engine that actually serves:
+	// serve.New may have wrapped e (Concurrent, or Snapshot under
+	// -snapshot), and the wrapper is what locks correctly for scrapes.
+	engine.RegisterMetrics(reg, srv.Engine())
 	fmt.Printf("crackserved: %s engine (%d rows, shards=%d, policy=%s) listening on %s\n",
 		kind, *rows, *shards, orDefault(*policy), bound)
 
@@ -202,6 +235,17 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("crackserved: drained in %v; served %d queries (%d errors), %.0f q/s, p50=%v p99=%v max=%v\n",
 		time.Since(t0).Round(time.Millisecond), st.Queries, st.Errors, st.QPS, st.P50, st.P99, st.Max)
+	// Durability and snapshot lifecycle summaries, when the engine has
+	// those layers: the numbers an operator wants in the shutdown log to
+	// corroborate a clean drain (everything fsynced, nothing in limbo).
+	if ds, ok := engine.DurStatsOf(srv.Engine()); ok {
+		fmt.Printf("crackserved: durable: %d appends, %d fsyncs, %d group commits, %d tape records, %d checkpoints\n",
+			ds.Wal.Appends, ds.Wal.Fsyncs, ds.Wal.GroupCommits, ds.TapeLen, ds.Checkpoints)
+	}
+	if ss, ok := engine.SnapshotStatsOf(srv.Engine()); ok {
+		fmt.Printf("crackserved: snapshots: %d published, %d reclaimed, %d in limbo\n",
+			ss.Published, ss.Reclaimed, ss.Limbo)
+	}
 }
 
 func orDefault(policy string) string {

@@ -4,9 +4,16 @@
 // sizes) and the map set's tape — the "knowledge" the system has learned
 // so far.
 //
+// With -metrics addr it instead becomes a live monitor for a running
+// crackserved: it polls the daemon's /metrics?format=json exposition and
+// prints a delta report per interval — counters as per-second rates over
+// the window, gauges as current values, histograms as count deltas with
+// current p50/p99/max — suppressing families that did not move.
+//
 // Usage:
 //
 //	cracktrace -rows 1000 -queries 20 -sel 0.1
+//	cracktrace -metrics localhost:9191 -interval 2s
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	crackstore "crackstore"
 	"crackstore/internal/crackindex"
@@ -22,12 +30,20 @@ import (
 
 func main() {
 	var (
-		rows    = flag.Int("rows", 1000, "relation rows")
-		queries = flag.Int("queries", 20, "queries to replay")
-		sel     = flag.Float64("sel", 0.1, "selectivity per query")
-		seed    = flag.Int64("seed", 1, "seed")
+		rows     = flag.Int("rows", 1000, "relation rows")
+		queries  = flag.Int("queries", 20, "queries to replay")
+		sel      = flag.Float64("sel", 0.1, "selectivity per query")
+		seed     = flag.Int64("seed", 1, "seed")
+		metrics  = flag.String("metrics", "", "watch a crackserved -metrics-addr endpoint at this host:port instead of running the local replay")
+		interval = flag.Duration("interval", 2*time.Second, "metrics mode: polling interval")
+		roundsN  = flag.Int("rounds", 0, "metrics mode: stop after this many delta reports (0 = run until interrupted)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		watchMetrics(*metrics, *interval, *roundsN)
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	rel := crackstore.Build("R", *rows, []string{"A", "B"},

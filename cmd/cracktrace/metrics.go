@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+)
+
+// metricSample is one family as rendered by the registry's JSON
+// exposition (obs.Registry.WriteJSON): scalars carry Value, histograms
+// carry Count/Sum/P50/P99/Max in seconds.
+type metricSample struct {
+	Type  string  `json:"type"`
+	Value float64 `json:"value"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// scrapeJSON pulls one snapshot of every family from a crackserved
+// metrics endpoint.
+func scrapeJSON(url string) (map[string]metricSample, error) {
+	cl := http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var out map[string]metricSample
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return out, nil
+}
+
+// watchMetrics is the -metrics mode: poll a crackserved -metrics-addr
+// endpoint and print a live delta view once per interval — counters as
+// per-second rates over the window, gauges as current values, histograms
+// as count deltas with current p50/p99/max. Counters that did not move
+// and zero gauges are suppressed so a busy server produces a compact
+// report of what is actually happening. Runs until rounds are exhausted
+// (rounds <= 0 means forever) or the endpoint disappears.
+func watchMetrics(addr string, interval time.Duration, rounds int) {
+	url := "http://" + addr + "/metrics?format=json"
+	prev, err := scrapeJSON(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cracktrace: %v (is crackserved running with -metrics-addr %s?)\n", err, addr)
+		os.Exit(1)
+	}
+	fmt.Printf("watching %s: %d families, one delta report every %v\n", url, len(prev), interval)
+	for i := 0; rounds <= 0 || i < rounds; i++ {
+		time.Sleep(interval)
+		cur, err := scrapeJSON(url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cracktrace: %v\n", err)
+			os.Exit(1)
+		}
+		printDelta(prev, cur, interval)
+		prev = cur
+	}
+}
+
+func printDelta(prev, cur map[string]metricSample, window time.Duration) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("-- %s --\n", time.Now().Format("15:04:05"))
+	quiet := 0
+	for _, name := range names {
+		c := cur[name]
+		switch c.Type {
+		case "counter":
+			d := c.Value - prev[name].Value
+			if d == 0 {
+				quiet++
+				continue
+			}
+			fmt.Printf("  %-44s %12.0f  (+%.0f, %.1f/s)\n", name, c.Value, d, d/window.Seconds())
+		case "gauge":
+			if c.Value == 0 && prev[name].Value == 0 {
+				quiet++
+				continue
+			}
+			fmt.Printf("  %-44s %12g\n", name, c.Value)
+		case "histogram":
+			d := c.Count - prev[name].Count
+			if d == 0 && c.Count == 0 {
+				quiet++
+				continue
+			}
+			fmt.Printf("  %-44s %12d  (+%d)  p50=%s p99=%s max=%s\n",
+				name, c.Count, d, secs(c.P50), secs(c.P99), secs(c.Max))
+		}
+	}
+	if quiet > 0 {
+		fmt.Printf("  (%d idle families suppressed)\n", quiet)
+	}
+}
+
+func secs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -73,6 +73,15 @@ type KernelStats struct {
 	Aux     int // auxiliary policy pivots introduced (see Policy)
 }
 
+// Add accumulates o into s (aggregation across columns/maps/chunks).
+func (s *KernelStats) Add(o KernelStats) {
+	s.InTwo += o.InTwo
+	s.InThree += o.InThree
+	s.Visited += o.Visited
+	s.Moved += o.Moved
+	s.Aux += o.Aux
+}
+
 // Pairs is a two-column table with a cracker index over the head column.
 type Pairs struct {
 	Head []Value

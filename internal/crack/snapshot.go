@@ -54,6 +54,12 @@ type SnapCol struct {
 	published atomic.Uint64 // versions published
 	retired   atomic.Uint64 // versions retired into limbo
 	reclaimed atomic.Uint64 // versions reclaimed out of limbo
+
+	// kern accumulates the kernel partition counters of every piece
+	// crack (InTwo, InThree, Visited, Moved, Aux). Writers are
+	// serialized by the owner's lock; the counters are atomics so a
+	// metrics scrape can read them without coordination.
+	kern [5]atomic.Uint64
 }
 
 // poisonValue marks reclaimed buffers in Poison mode.
@@ -423,6 +429,11 @@ func (c *SnapCol) crackPiece(w *colVersion, dead *[]*snapPiece, pi int, f func(t
 	tmp := WrapPairs(head, tail)
 	tmp.Policy = c.Policy
 	f(tmp)
+	c.kern[0].Add(uint64(tmp.Stats.InTwo))
+	c.kern[1].Add(uint64(tmp.Stats.InThree))
+	c.kern[2].Add(uint64(tmp.Stats.Visited))
+	c.kern[3].Add(uint64(tmp.Stats.Moved))
+	c.kern[4].Add(uint64(tmp.Stats.Aux))
 	type cutpos struct {
 		b   crackindex.Bound
 		pos int
@@ -578,6 +589,19 @@ type SnapStats struct {
 	Retired   uint64
 	Reclaimed uint64
 	Limbo     uint64
+}
+
+// KernelStats returns the kernel partition counters accumulated across
+// every piece crack since the column was created (the conversion from a
+// plain Col starts from zero). Safe to call concurrently.
+func (c *SnapCol) KernelStats() KernelStats {
+	return KernelStats{
+		InTwo:   int(c.kern[0].Load()),
+		InThree: int(c.kern[1].Load()),
+		Visited: int(c.kern[2].Load()),
+		Moved:   int(c.kern[3].Load()),
+		Aux:     int(c.kern[4].Load()),
+	}
 }
 
 // Stats returns the version-lifecycle counters. Safe to call concurrently.

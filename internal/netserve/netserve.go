@@ -34,7 +34,10 @@ import (
 
 	"bufio"
 
+	"os"
+
 	"crackstore/internal/engine"
+	"crackstore/internal/obs"
 	"crackstore/internal/serve"
 	"crackstore/internal/wire"
 )
@@ -65,6 +68,24 @@ type Options struct {
 	// replays it when a client retry re-sends a token, so a write whose
 	// response was lost in transit is applied exactly once. 0 means 4096.
 	DedupWindow int
+	// Metrics, when non-nil, registers the network layer's counters
+	// (frames, bytes, corrupt frames, dedup hits, connections) into the
+	// registry; it is also forwarded to the serving layer unless
+	// Serve.Metrics is already set, so one registry observes both layers.
+	// Nil keeps the hot path byte-identical to the uninstrumented build.
+	Metrics *obs.Registry
+	// TraceSample, when > 0, server-side samples one in TraceSample
+	// non-ping requests for tracing (rounded up to the next power of
+	// two): the sampled request takes the fully
+	// timed dispatch path and its trace is emitted as a one-line JSON
+	// event on TraceSink. Client-initiated traces (requests carrying a
+	// trace ID) are always honored regardless of this setting.
+	TraceSample int
+	// TraceSink receives one-line JSON trace events for sampled and
+	// client-traced requests. Nil with TraceSample > 0 means os.Stderr;
+	// nil with TraceSample == 0 means client-traced requests return their
+	// spans to the client but emit no server-side events.
+	TraceSink io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +108,12 @@ func (o Options) withDefaults() Options {
 		// latency history grows ~8 bytes per query forever. 2^20 samples
 		// (~8 MB) keeps percentiles meaningful at any realistic rate.
 		o.Serve.LatencyWindow = 1 << 20
+	}
+	if o.Metrics != nil && o.Serve.Metrics == nil {
+		o.Serve.Metrics = o.Metrics
+	}
+	if o.TraceSample > 0 && o.TraceSink == nil {
+		o.TraceSink = os.Stderr
 	}
 	return o
 }
@@ -113,6 +140,12 @@ type Server struct {
 	sheds  atomic.Int64
 	dedup  *dedupWindow
 
+	// met is nil when Options.Metrics is nil; every method on a nil met
+	// no-ops, so call sites are unconditional.
+	met     *netMetrics
+	sampler *obs.Sampler // server-side 1-in-N trace sampling (nil = off)
+	traceMu sync.Mutex   // serializes one-line JSON trace events on traceSink
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
@@ -137,7 +170,94 @@ func NewServer(e engine.Engine, opts Options) *Server {
 	if opts.MaxInflight > 0 {
 		s.glimit = make(chan struct{}, opts.MaxInflight)
 	}
+	s.met = newNetMetrics(opts.Metrics, s)
+	s.sampler = obs.NewSampler(opts.TraceSample)
 	return s
+}
+
+// netMetrics holds the network layer's registry-backed instruments. A
+// nil *netMetrics (Options.Metrics unset) no-ops on every method, so the
+// loops never branch on configuration.
+type netMetrics struct {
+	framesRead, framesWritten *obs.Counter
+	bytesRead, bytesWritten   *obs.Counter
+	corrupt                   *obs.Counter
+	dedupHits                 *obs.Counter
+	hellos                    *obs.Counter
+	connsTotal                *obs.Counter
+	traces                    *obs.Counter
+	conns                     *obs.Gauge
+}
+
+func newNetMetrics(r *obs.Registry, s *Server) *netMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &netMetrics{
+		framesRead:    r.Counter("crack_net_frames_read_total", "request frames decoded off client connections"),
+		framesWritten: r.Counter("crack_net_frames_written_total", "response frames written to client connections"),
+		bytesRead:     r.Counter("crack_net_bytes_read_total", "bytes read off client connections (frame headers included)"),
+		bytesWritten:  r.Counter("crack_net_bytes_written_total", "bytes written to client connections (frame headers included)"),
+		corrupt:       r.Counter("crack_net_corrupt_frames_total", "frames rejected as oversized, undecodable, or corrupt"),
+		dedupHits:     r.Counter("crack_net_dedup_hits_total", "retried writes answered from the idempotency dedup window"),
+		hellos:        r.Counter("crack_net_hello_total", "protocol version negotiations answered"),
+		connsTotal:    r.Counter("crack_net_conns_total", "connections accepted"),
+		traces:        r.Counter("crack_net_traces_total", "requests traced (client-initiated plus server-sampled)"),
+		conns:         r.Gauge("crack_net_conns", "currently open connections"),
+	}
+	r.CounterFunc("crack_net_sheds_total", "requests shed by the global in-flight cap", func() uint64 { return uint64(s.sheds.Load()) })
+	return m
+}
+
+func (m *netMetrics) frameRead(n int) {
+	if m != nil {
+		m.framesRead.Inc()
+		m.bytesRead.Add(uint64(n))
+	}
+}
+
+func (m *netMetrics) frameWritten(n int) {
+	if m != nil {
+		m.framesWritten.Inc()
+		m.bytesWritten.Add(uint64(n))
+	}
+}
+
+func (m *netMetrics) corruptFrame() {
+	if m != nil {
+		m.corrupt.Inc()
+	}
+}
+
+func (m *netMetrics) dedupHit() {
+	if m != nil {
+		m.dedupHits.Inc()
+	}
+}
+
+func (m *netMetrics) hello() {
+	if m != nil {
+		m.hellos.Inc()
+	}
+}
+
+func (m *netMetrics) connOpen() {
+	if m != nil {
+		m.connsTotal.Inc()
+		m.conns.Add(1)
+	}
+}
+
+func (m *netMetrics) connClose() {
+	if m != nil {
+		m.conns.Add(-1)
+	}
+}
+
+func (m *netMetrics) traced() {
+	if m != nil {
+		m.traces.Inc()
+	}
 }
 
 // Listen starts serving e on addr (e.g. ":9090", "127.0.0.1:0") in a
@@ -212,6 +332,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		// tear the serve layer down under this connection's goroutines.
 		s.wg.Add(2)
 		s.mu.Unlock()
+		s.met.connOpen()
 		go c.readLoop()
 		go c.writeLoop()
 	}
@@ -270,6 +391,7 @@ func (s *Server) dropConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	s.met.connClose()
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +430,9 @@ func (c *conn) readLoop() {
 	for {
 		payload, err := wire.ReadFrame(br, c.s.opts.MaxFrame)
 		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) || errors.Is(err, wire.ErrCorrupt) {
+				c.s.met.corruptFrame()
+			}
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				// The length prefix itself was intact: report the refusal
 				// before hanging up (the body was never read, so the
@@ -316,8 +441,10 @@ func (c *conn) readLoop() {
 			}
 			break
 		}
+		c.s.met.frameRead(len(payload) + wire.FrameHeader)
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
+			c.s.met.corruptFrame()
 			// Framing was intact — only this payload is bad. If its header
 			// (op + ID) survives, answer the error in-band and keep
 			// serving the connection; otherwise the peer is not speaking
@@ -336,6 +463,15 @@ func (c *conn) readLoop() {
 		if req.Op == wire.OpPing {
 			c.send(&wire.Response{ID: req.ID, Op: wire.OpPing, Status: wire.StatusOK})
 			continue
+		}
+		// Server-side trace sampling: a sampled request borrows the traced
+		// dispatch path (fully timed, off-reader) but its spans stay on the
+		// server — the client did not ask for them.
+		sampled := false
+		if req.Trace == 0 {
+			if id, ok := c.s.sampler.Next(); ok {
+				req.Trace, sampled = id, true
+			}
 		}
 		// Global in-flight cap: over the line, the request is shed in-band
 		// with StatusOverloaded — never by closing the conn — and the client
@@ -357,7 +493,9 @@ func (c *conn) readLoop() {
 		// queries (cracks, merges, updates, a momentarily full pool, a
 		// full-scan engine per Server.inlineRO, or a post-overrun cooldown)
 		// fall through to dispatch goroutines and complete out of order.
-		if req.Op == wire.OpQuery && c.s.inlineRO && c.inlineCooldown == 0 {
+		// Traced requests always dispatch: tracing wants the fully timed
+		// path, and at 1-in-N sampling the handoff cost is noise.
+		if req.Op == wire.OpQuery && req.Trace == 0 && c.s.inlineRO && c.inlineCooldown == 0 {
 			t0 := time.Now()
 			if res, cost, ok := c.s.srv.TryRO(req.Query); ok {
 				c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: res, Cost: cost})
@@ -374,15 +512,20 @@ func (c *conn) readLoop() {
 		}
 		c.limit <- struct{}{} // pipeline cap: backpressure instead of unbounded goroutines
 		c.inflight.Add(1)
-		go func(req wire.Request, acquired bool) {
+		go func(req wire.Request, acquired, sampled bool) {
 			defer c.inflight.Done()
 			resp := c.s.dispatch(&req, arrival)
-			c.send(resp)
+			if req.Trace != 0 {
+				c.s.met.traced()
+				c.sendTraced(&req, resp, arrival, sampled)
+			} else {
+				c.send(resp)
+			}
 			if acquired {
 				<-c.s.glimit
 			}
 			<-c.limit
-		}(req, acquired)
+		}(req, acquired, sampled)
 	}
 	c.inflight.Wait() // every dispatched request has queued its response
 	close(c.out)      // writer flushes the tail and exits
@@ -409,7 +552,7 @@ func (c *conn) writeLoop() {
 		if !broken {
 			if _, err := bw.Write(*frame); err != nil {
 				broken = true
-			} else if len(c.out) == 0 {
+			} else if c.s.met.frameWritten(len(*frame)); len(c.out) == 0 {
 				if err := bw.Flush(); err != nil {
 					broken = true
 				}
@@ -430,6 +573,12 @@ func (c *conn) writeLoop() {
 // call, for one oversized result. send never blocks forever: the writer
 // drains the channel until the reader closes it, even on a broken socket.
 func (c *conn) send(resp *wire.Response) {
+	c.out <- c.encodeFrame(resp)
+}
+
+// encodeFrame encodes one response into a pooled frame buffer, applying
+// the oversize-to-error conversion.
+func (c *conn) encodeFrame(resp *wire.Response) *[]byte {
 	buf := frameBufPool.Get().(*[]byte)
 	*buf = wire.AppendResponse(*buf, resp)
 	if len(*buf)-wire.FrameHeader > c.s.opts.MaxFrame {
@@ -438,6 +587,34 @@ func (c *conn) send(resp *wire.Response) {
 			ID: resp.ID, Op: resp.Op, Status: wire.StatusErr,
 			Err: fmt.Sprintf("netserve: response frame %d bytes exceeds the %d-byte limit; narrow the query or raise MaxFrame", over, c.s.opts.MaxFrame),
 		})
+	}
+	return buf
+}
+
+// sendTraced encodes and enqueues a traced request's response, timing the
+// encode, and emits the server-side trace event: the response's spans
+// plus the encode span the response cannot carry about itself. A sampled
+// (server-initiated) trace strips the spans from the wire response first
+// — the client did not ask for them.
+func (c *conn) sendTraced(req *wire.Request, resp *wire.Response, arrival time.Time, sampled bool) {
+	spans := resp.Spans
+	if sampled {
+		resp.Spans = nil
+	}
+	t0 := time.Now()
+	buf := c.encodeFrame(resp)
+	enc := time.Since(t0)
+	if sink := c.s.opts.TraceSink; sink != nil {
+		tr := obs.Trace{
+			ID:    req.Trace,
+			Op:    req.Op.String(),
+			Total: time.Since(arrival),
+			Err:   resp.Err,
+			Spans: append(spans, obs.Span{Stage: obs.StageEncode, Start: t0.Sub(arrival), Dur: enc}),
+		}
+		c.s.traceMu.Lock()
+		tr.WriteJSON(sink)
+		c.s.traceMu.Unlock()
 	}
 	c.out <- buf
 }
@@ -470,6 +647,7 @@ func (s *Server) dispatch(req *wire.Request, arrival time.Time) *wire.Response {
 		if !first {
 			// A retry of a write the server already owns: wait out the
 			// original execution if needed and replay its response.
+			s.met.dedupHit()
 			<-e.done
 			r := e.resp
 			r.ID = req.ID
@@ -513,13 +691,20 @@ func (s *Server) exec(req *wire.Request, arrival time.Time) (resp *wire.Response
 		resp.Err = err.Error()
 		return resp
 	}
+	// Traced queries go through the span-capturing entry point; their
+	// response carries queue/execute/crack spans back to the client.
+	var sp *serve.SpanTimes
+	if req.Trace != 0 {
+		sp = new(serve.SpanTimes)
+	}
 	switch req.Op {
 	case wire.OpQuery:
-		res, cost, err := s.srv.DoUntil(req.Query, deadline)
+		res, cost, err := s.srv.DoUntilSpans(req.Query, deadline, sp)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Result, resp.Cost = res, cost
+		resp.Spans = serverSpans(sp, cost)
 	case wire.OpQueryRO:
 		// Read-only requests stay inside the serving layer so the worker
 		// bound, per-query deadline, and statistics apply to them exactly
@@ -527,18 +712,25 @@ func (s *Server) exec(req *wire.Request, arrival time.Time) (resp *wire.Response
 		// declines for lack of a free slot (or batching mode) rather than
 		// because the query would reorganize, fall through to Do — for a
 		// reorganization-free query that is the same read-only execution,
-		// just queued fairly behind the pool.
-		res, cost, ok := s.srv.TryRO(req.Query)
+		// just queued fairly behind the pool. Traced requests skip TryRO:
+		// tracing wants the timed pool path.
+		var res engine.Result
+		var cost engine.Cost
+		ok := false
+		if sp == nil {
+			res, cost, ok = s.srv.TryRO(req.Query)
+		}
 		if !ok {
 			if s.srv.Engine().Probe(req.Query) {
 				resp.Status = wire.StatusRefused
 				return resp
 			}
 			var err error
-			res, cost, err = s.srv.DoUntil(req.Query, deadline)
+			res, cost, err = s.srv.DoUntilSpans(req.Query, deadline, sp)
 			if err != nil {
 				return fail(err)
 			}
+			resp.Spans = serverSpans(sp, cost)
 		}
 		resp.Result, resp.Cost = res, cost
 	case wire.OpInsert:
@@ -548,6 +740,12 @@ func (s *Server) exec(req *wire.Request, arrival time.Time) (resp *wire.Response
 	case wire.OpPing:
 		// Normally answered on the reader; kept here so a directly
 		// dispatched ping still works.
+	case wire.OpHello:
+		// Version negotiation: answer with the server's protocol version.
+		// Old servers answer OpHello with an in-band unknown-op error,
+		// which new clients read as "version 1, no tracing".
+		s.met.hello()
+		resp.Version = wire.ProtoVersion
 	case wire.OpStats:
 		st := s.Stats()
 		resp.Stats = wire.Stats{
@@ -566,6 +764,25 @@ func (s *Server) exec(req *wire.Request, arrival time.Time) (resp *wire.Response
 		resp.Err = fmt.Sprintf("netserve: unknown op %d", byte(req.Op))
 	}
 	return resp
+}
+
+// serverSpans converts the serving layer's stage times into wire spans,
+// anchored at the serve entry (the client re-anchors them after its send
+// span). The crack span is the selection side of execution — locating
+// qualifying tuples, including any physical reorganization — nested at
+// the start of the execute span. Returns nil for an untraced call.
+func serverSpans(sp *serve.SpanTimes, cost engine.Cost) []obs.Span {
+	if sp == nil {
+		return nil
+	}
+	spans := []obs.Span{
+		{Stage: obs.StageQueue, Start: 0, Dur: sp.Queue},
+		{Stage: obs.StageExecute, Start: sp.Queue, Dur: sp.Exec},
+	}
+	if cost.Sel > 0 {
+		spans = append(spans, obs.Span{Stage: obs.StageCrack, Start: sp.Queue, Dur: cost.Sel})
+	}
+	return spans
 }
 
 var _ io.Closer = (*Server)(nil)

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Exposition. Scrapes hold the registry lock, so families registered
+// concurrently with a scrape appear atomically; instrument values are
+// individually-atomic loads (monitoring-grade consistency, documented on
+// Histogram.Quantile). Output is sorted by family name so the format is
+// stable and diffable (and golden-testable).
+
+// WritePrometheus writes every family in Prometheus text exposition
+// format (version 0.0.4). Duration histograms registered with a
+// _seconds name are converted from internal nanoseconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sortedMetrics() {
+		var err error
+		switch m.kind {
+		case kindCounter:
+			err = writeScalar(w, m, "counter", formatUint(m.c.Value()))
+		case kindCounterFunc:
+			err = writeScalar(w, m, "counter", formatUint(m.cf()))
+		case kindGauge:
+			err = writeScalar(w, m, "gauge", strconv.FormatInt(m.g.Value(), 10))
+		case kindGaugeFunc:
+			err = writeScalar(w, m, "gauge", formatFloat(m.gf()))
+		case kindHistogram:
+			err = writeHistogram(w, m)
+		default:
+			// Unreachable: kinds are only minted by the register helpers.
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) sortedMetrics() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}
+
+func writeScalar(w io.Writer, m *metric, typ, val string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		m.name, m.help, m.name, typ, m.name, val)
+	return err
+}
+
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.h
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		m.name, m.help, m.name); err != nil {
+		return err
+	}
+	// Cumulative buckets up to the highest non-empty one, then +Inf.
+	// Bucket bounds are seconds (instruments record nanoseconds).
+	top := -1
+	var counts [nHistBuckets]uint64
+	for i := 0; i < nHistBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		le := formatFloat(float64(bucketUpper(i)) / 1e9)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		m.name, formatFloat(h.Sum().Seconds()), m.name, h.Count()); err != nil {
+		return err
+	}
+	// The exact maximum is information a Prometheus histogram cannot
+	// carry; expose it as a companion gauge family.
+	_, err := fmt.Fprintf(w, "# HELP %s_max exact maximum observation of %s\n# TYPE %s_max gauge\n%s_max %s\n",
+		m.name, m.name, m.name, m.name, formatFloat(h.Max().Seconds()))
+	return err
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes every family as a JSON object keyed by family name —
+// the machine-readable twin of WritePrometheus, consumed by
+// `cracktrace -metrics`. Histograms summarize to count/sum/p50/p99/max
+// (seconds).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	ms := r.sortedMetrics()
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, m := range ms {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			err = jsonScalar(w, m.name, "counter", formatUint(m.c.Value()))
+		case kindCounterFunc:
+			err = jsonScalar(w, m.name, "counter", formatUint(m.cf()))
+		case kindGauge:
+			err = jsonScalar(w, m.name, "gauge", strconv.FormatInt(m.g.Value(), 10))
+		case kindGaugeFunc:
+			err = jsonScalar(w, m.name, "gauge", formatFloat(m.gf()))
+		case kindHistogram:
+			s := m.h.Snapshot()
+			_, err = fmt.Fprintf(w,
+				"%q:{\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"p50\":%s,\"p99\":%s,\"max\":%s}",
+				m.name, s.Count, formatFloat(s.Sum.Seconds()), formatFloat(s.P50.Seconds()),
+				formatFloat(s.P99.Seconds()), formatFloat(s.Max.Seconds()))
+		default:
+			// Unreachable: kinds are only minted by the register helpers.
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+func jsonScalar(w io.Writer, name, typ, val string) error {
+	_, err := fmt.Fprintf(w, "%q:{\"type\":%q,\"value\":%s}", name, typ, val)
+	return err
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// JSON with ?format=json. Mounted by `crackserved -metrics-addr` at
+// /metrics alongside net/http/pprof.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -172,6 +172,26 @@ func (s *Store) Relation() *store.Relation { return s.rel }
 
 // StorageTuples returns the total chunk storage in tuples (head-dropped
 // chunks count half). The chunk maps are excluded; see ChunkMapTuples.
+// Kernel aggregates the kernel partition counters and cracker-index
+// sizes over every chunk map and every materialized chunk: the
+// observability bridge. Call it under the same synchronization as
+// queries (the stats are plain ints on the Pairs).
+func (s *Store) Kernel() (ks crack.KernelStats, pieces, cols int) {
+	for _, set := range s.sets {
+		ks.Add(set.ha.Stats)
+		pieces += set.ha.Idx.Pieces()
+		cols++
+		for _, a := range set.areas {
+			for _, ch := range a.chunks {
+				ks.Add(ch.p.Stats)
+				pieces += ch.p.Idx.Pieces()
+				cols++
+			}
+		}
+	}
+	return ks, pieces, cols
+}
+
 func (s *Store) StorageTuples() int {
 	total := 0
 	for _, set := range s.sets {

@@ -31,6 +31,7 @@ import (
 
 	"crackstore/internal/crack"
 	"crackstore/internal/engine"
+	"crackstore/internal/obs"
 )
 
 // Options tunes the server.
@@ -80,6 +81,13 @@ type Options struct {
 	// whose kind engine.Snapshot does not support fall back to Concurrent.
 	// Ignored when the engine is already shared-safe.
 	Snapshot bool
+	// Metrics, when non-nil, registers the serving-layer metric families
+	// (crack_serve_*) in the given registry and feeds them as queries
+	// flow. Nil (the default) keeps the hot path byte-identical to the
+	// uninstrumented server: no clocks, no atomics beyond the existing
+	// ones. One registry serves one Server — registering two servers in
+	// the same registry panics on the duplicate family names.
+	Metrics *obs.Registry
 	// LatencyWindow bounds the retained per-query latency samples: once
 	// full, the oldest samples are overwritten, so percentiles describe a
 	// sliding window of recent queries while Queries and QPS still count
@@ -128,6 +136,11 @@ type request struct {
 	err  error
 	done chan struct{}
 
+	// sp, when non-nil, receives the queue/execute stage timings (trace
+	// support). The worker writes it before closing done; the caller
+	// reads it after done closes — no lock needed.
+	sp *SpanTimes
+
 	// deadline is t0 + Options.Timeout (zero when timeouts are off).
 	deadline time.Time
 	// claimed decides, exactly once, who accounts for this request: the
@@ -142,10 +155,113 @@ func (r *request) expired(now time.Time) bool {
 	return !r.deadline.IsZero() && now.After(r.deadline)
 }
 
+// SpanTimes receives the serving-side stage timings of one query from
+// DoUntilSpans: Queue is the time from submission to the start of
+// execution (semaphore or admission-queue wait), Exec the engine
+// execution time. Only filled in for successful queries.
+type SpanTimes struct {
+	Queue time.Duration
+	Exec  time.Duration
+}
+
+// serveMetrics holds the serving-layer instruments. A nil *serveMetrics
+// (Options.Metrics unset) is valid for every method and does nothing, so
+// call sites stay unconditional. The success path is deliberately two
+// histogram observes and nothing else: queries_total is derived from the
+// latency histogram's bucket sum at scrape time, and in direct mode
+// inflight is read from the semaphore depth at scrape time, so neither
+// costs an atomic on the hot path.
+type serveMetrics struct {
+	errors   *obs.Counter
+	timeouts *obs.Counter
+	sheds    *obs.Counter
+	latency  *obs.Histogram
+	queue    *obs.Histogram
+	inflight *obs.Gauge // batching mode only; nil in direct mode
+}
+
+func newServeMetrics(r *obs.Registry, s *Server) *serveMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &serveMetrics{
+		errors:   r.Counter("crack_serve_errors_total", "queries that failed (engine errors and deadline expiries)"),
+		timeouts: r.Counter("crack_serve_timeouts_total", "queries that failed by deadline expiry (subset of errors)"),
+		sheds:    r.Counter("crack_serve_sheds_total", "queries shed in-band at the MaxWaiting watermark"),
+		latency:  r.Histogram("crack_serve_latency_seconds", "successful query latency, submission to completion (wait + execute)"),
+		queue:    r.Histogram("crack_serve_queue_seconds", "successful query wait for an execution slot"),
+	}
+	// Every success observes latency exactly once, so the histogram's
+	// count is the query count — no separate hot-path counter needed.
+	r.CounterFunc("crack_serve_queries_total", "queries completed successfully", m.latency.Count)
+	if s.opts.Batch {
+		// Batch workers don't hold the semaphore; count executions
+		// directly.
+		m.inflight = r.Gauge("crack_serve_inflight", "queries executing on the engine right now")
+	} else {
+		// Direct mode holds a semaphore slot for exactly the execution
+		// window (including detached timed-out executions), so the
+		// channel depth is the inflight count, read only at scrape time.
+		r.GaugeFunc("crack_serve_inflight", "queries executing on the engine right now", func() float64 {
+			return float64(len(s.sem))
+		})
+	}
+	r.GaugeFunc("crack_serve_waiting", "queries waiting for an execution slot", func() float64 {
+		if s.opts.Batch {
+			return float64(len(s.admit))
+		}
+		return float64(s.waiting.Load())
+	})
+	return m
+}
+
+func (m *serveMetrics) execStart() {
+	if m != nil && m.inflight != nil {
+		m.inflight.Add(1)
+	}
+}
+
+func (m *serveMetrics) execEnd() {
+	if m != nil && m.inflight != nil {
+		m.inflight.Add(-1)
+	}
+}
+
+func (m *serveMetrics) observeQueue(d time.Duration) {
+	if m != nil {
+		m.queue.Observe(d)
+	}
+}
+
+func (m *serveMetrics) success(lat time.Duration) {
+	if m != nil {
+		m.latency.Observe(lat)
+	}
+}
+
+func (m *serveMetrics) error() {
+	if m != nil {
+		m.errors.Inc()
+	}
+}
+
+func (m *serveMetrics) timeout() {
+	if m != nil {
+		m.timeouts.Inc()
+	}
+}
+
+func (m *serveMetrics) shed() {
+	if m != nil {
+		m.sheds.Inc()
+	}
+}
+
 // Server executes queries from many clients against one shared engine.
 type Server struct {
 	e    engine.Engine
 	opts Options
+	met  *serveMetrics // nil unless Options.Metrics is set
 
 	sem chan struct{} // direct mode: concurrency-limiting semaphore
 
@@ -186,6 +302,7 @@ func New(e engine.Engine, opts Options) *Server {
 		}
 	}
 	s := &Server{e: e, opts: opts}
+	s.met = newServeMetrics(opts.Metrics, s)
 	if opts.Batch {
 		s.admit = make(chan *request, opts.Queue)
 		s.work = make(chan []*request, opts.Queue)
@@ -220,6 +337,24 @@ func (s *Server) Do(q engine.Query) (engine.Result, engine.Cost, error) {
 // returns ErrTimeout with the same exactly-once accounting and no-slot-leak
 // guarantees as Options.Timeout.
 func (s *Server) DoUntil(q engine.Query, deadline time.Time) (engine.Result, engine.Cost, error) {
+	return s.doUntil(q, deadline, nil)
+}
+
+// DoUntilSpans is DoUntil for traced queries: on success, sp receives
+// the queue and execute stage durations (netserve encodes them as
+// response spans). Passing sp costs two extra clock reads on this call
+// only; untraced calls through DoUntil are unaffected.
+func (s *Server) DoUntilSpans(q engine.Query, deadline time.Time, sp *SpanTimes) (engine.Result, engine.Cost, error) {
+	return s.doUntil(q, deadline, sp)
+}
+
+// timed reports whether this call must capture phase boundaries — for a
+// span-collecting caller or the queue-wait histogram.
+func (s *Server) timed(sp *SpanTimes) bool {
+	return sp != nil || s.met != nil
+}
+
+func (s *Server) doUntil(q engine.Query, deadline time.Time, sp *SpanTimes) (engine.Result, engine.Cost, error) {
 	if len(q.Preds) == 0 {
 		return engine.Result{}, engine.Cost{}, ErrEmptyQuery
 	}
@@ -239,6 +374,7 @@ func (s *Server) DoUntil(q engine.Query, deadline time.Time) (engine.Result, eng
 	if !deadline.IsZero() && !t0.Before(deadline) {
 		// Expired before submission (e.g. the TTL burned up in transit):
 		// never touches the queue or a slot.
+		s.met.timeout()
 		s.recordError(t0, t0)
 		return engine.Result{}, engine.Cost{}, ErrTimeout
 	}
@@ -248,23 +384,52 @@ func (s *Server) DoUntil(q engine.Query, deadline time.Time) (engine.Result, eng
 	}
 	if !s.opts.Batch {
 		if !deadline.IsZero() {
-			return s.doDirectDeadline(q, t0, deadline)
+			return s.doDirectDeadline(q, t0, deadline, sp)
 		}
-		// Direct mode: execute on this goroutine under the semaphore.
-		s.waiting.Add(1)
-		s.sem <- struct{}{}
-		s.waiting.Add(-1)
+		// Direct mode: execute on this goroutine under the semaphore. The
+		// uncontended acquire is non-blocking so the warm path can skip
+		// the mid-query clock read: a slot taken without waiting means
+		// the slot wait was ~0 and the queue histogram records an exact
+		// zero. Only actual waiters — and span-traced queries, which need
+		// the queue/execute split regardless — pay for a time.Now (~65ns
+		// on some VMs, the single largest per-query instrumentation cost).
+		waited := false
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.waiting.Add(1)
+			s.sem <- struct{}{}
+			s.waiting.Add(-1)
+			waited = true
+		}
+		var t1 time.Time
+		if sp != nil || (waited && s.met != nil) {
+			t1 = time.Now()
+		}
+		s.met.execStart()
 		res, cost, err := safeQuery(s.e, q)
+		s.met.execEnd()
 		<-s.sem
+		end := time.Now()
 		if err != nil {
-			s.recordError(t0, time.Now())
+			s.recordError(t0, end)
 			return res, cost, err
 		}
-		s.record(time.Since(t0), t0)
+		if sp != nil {
+			sp.Queue, sp.Exec = t1.Sub(t0), end.Sub(t1)
+		}
+		if s.met != nil {
+			if t1.IsZero() {
+				s.met.observeQueue(0)
+			} else {
+				s.met.observeQueue(t1.Sub(t0))
+			}
+		}
+		s.record(end.Sub(t0), t0)
 		return res, cost, nil
 	}
 
-	req := &request{q: q, t0: t0, deadline: deadline, done: make(chan struct{})}
+	req := &request{q: q, t0: t0, deadline: deadline, done: make(chan struct{}), sp: sp}
 	if !deadline.IsZero() {
 		return s.doBatchDeadline(req)
 	}
@@ -312,7 +477,9 @@ func (s *Server) TryRO(q engine.Query) (engine.Result, engine.Cost, bool) {
 	default: // all slots busy: let Do queue fairly
 		return engine.Result{}, engine.Cost{}, false
 	}
+	s.met.execStart()
 	res, cost, ok := safeQueryRO(s.e, q)
+	s.met.execEnd()
 	<-s.sem
 	if !ok {
 		return engine.Result{}, engine.Cost{}, false
@@ -345,7 +512,7 @@ type outcome struct {
 // ErrTimeout to the caller immediately while the execution finishes in the
 // background and releases the slot itself — expiry can neither interrupt an
 // engine mid-crack nor leak the slot.
-func (s *Server) doDirectDeadline(q engine.Query, t0, deadline time.Time) (engine.Result, engine.Cost, error) {
+func (s *Server) doDirectDeadline(q engine.Query, t0, deadline time.Time, sp *SpanTimes) (engine.Result, engine.Cost, error) {
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	s.waiting.Add(1)
@@ -355,23 +522,39 @@ func (s *Server) doDirectDeadline(q engine.Query, t0, deadline time.Time) (engin
 	case <-timer.C:
 		s.waiting.Add(-1)
 		// Never got a slot; nothing to detach.
+		s.met.timeout()
 		s.recordError(t0, time.Now())
 		return engine.Result{}, engine.Cost{}, ErrTimeout
+	}
+	var t1 time.Time
+	if s.timed(sp) {
+		t1 = time.Now()
 	}
 	var claimed atomic.Bool
 	ch := make(chan outcome, 1)
 	s.bg.Add(1)
 	go func() {
 		defer s.bg.Done()
+		s.met.execStart()
 		res, cost, err := safeQuery(s.e, q)
+		s.met.execEnd()
 		<-s.sem
+		end := time.Now()
 		if !claimed.CompareAndSwap(false, true) {
 			return // caller timed out and accounted for the query; discard
 		}
 		if err != nil {
-			s.recordError(t0, time.Now())
+			s.recordError(t0, end)
 		} else {
-			s.record(time.Since(t0), t0)
+			if s.timed(sp) {
+				if sp != nil {
+					// Written before the ch send; the caller reads only
+					// after receiving from ch.
+					sp.Queue, sp.Exec = t1.Sub(t0), end.Sub(t1)
+				}
+				s.met.observeQueue(t1.Sub(t0))
+			}
+			s.record(end.Sub(t0), t0)
 		}
 		ch <- outcome{res, cost, err}
 	}()
@@ -380,6 +563,7 @@ func (s *Server) doDirectDeadline(q engine.Query, t0, deadline time.Time) (engin
 		return out.res, out.cost, out.err
 	case <-timer.C:
 		if claimed.CompareAndSwap(false, true) {
+			s.met.timeout()
 			s.recordError(t0, time.Now())
 			return engine.Result{}, engine.Cost{}, ErrTimeout
 		}
@@ -401,6 +585,7 @@ func (s *Server) doBatchDeadline(req *request) (engine.Result, engine.Cost, erro
 	case s.admit <- req:
 	case <-timer.C:
 		// Never admitted; the request is exclusively ours.
+		s.met.timeout()
 		s.recordError(req.t0, time.Now())
 		return engine.Result{}, engine.Cost{}, ErrTimeout
 	}
@@ -409,6 +594,7 @@ func (s *Server) doBatchDeadline(req *request) (engine.Result, engine.Cost, erro
 		return req.res, req.cost, req.err
 	case <-timer.C:
 		if req.claimed.CompareAndSwap(false, true) {
+			s.met.timeout()
 			s.recordError(req.t0, time.Now())
 			return engine.Result{}, engine.Cost{}, ErrTimeout
 		}
@@ -438,6 +624,7 @@ func safeQuery(e engine.Engine, q engine.Query) (res engine.Result, cost engine.
 // still feed the run's wall clock (earliest submission, latest
 // completion): a failed query occupied the server just the same.
 func (s *Server) recordError(t0, end time.Time) {
+	s.met.error()
 	s.mu.Lock()
 	s.errs++
 	s.noteStartLocked(t0)
@@ -452,6 +639,7 @@ func (s *Server) recordError(t0, end time.Time) {
 // slot and no engine time — the counter exists so operators can see the
 // defense firing, not to distort throughput numbers.
 func (s *Server) recordShed() {
+	s.met.shed()
 	s.mu.Lock()
 	s.sheds++
 	s.mu.Unlock()
@@ -466,6 +654,7 @@ func (s *Server) recordShed() {
 // the completion-side update keeps Do at one stats critical section per
 // query.
 func (s *Server) record(lat time.Duration, t0 time.Time) {
+	s.met.success(lat)
 	s.mu.Lock()
 	s.total++
 	if w := s.opts.LatencyWindow; w > 0 && len(s.lats) >= w {
@@ -569,17 +758,32 @@ func (s *Server) serveRequest(req *request) {
 	if req.expired(time.Now()) {
 		if req.claimed.CompareAndSwap(false, true) {
 			req.err = ErrTimeout
+			s.met.timeout()
 			s.recordError(req.t0, time.Now())
 		}
 		return
 	}
+	var t1 time.Time
+	if s.timed(req.sp) {
+		t1 = time.Now()
+	}
+	s.met.execStart()
 	res, cost, err := safeQuery(s.e, req.q)
+	s.met.execEnd()
 	if !req.deadline.IsZero() && !req.claimed.CompareAndSwap(false, true) {
 		return // caller gave up mid-execution; discard
 	}
 	req.res, req.cost, req.err = res, cost, err
 	if err == nil {
-		s.record(time.Since(req.t0), req.t0)
+		end := time.Now()
+		if s.timed(req.sp) {
+			if req.sp != nil {
+				// Written before close(req.done); the caller reads after.
+				req.sp.Queue, req.sp.Exec = t1.Sub(req.t0), end.Sub(t1)
+			}
+			s.met.observeQueue(t1.Sub(req.t0))
+		}
+		s.record(end.Sub(req.t0), req.t0)
 	} else {
 		s.recordError(req.t0, time.Now())
 	}

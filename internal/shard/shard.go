@@ -169,6 +169,45 @@ func (s *Engine) ConcStats() engine.ConcStats {
 	return total
 }
 
+// KernelReport implements engine.KernelObservable by summing the
+// per-shard kernel counters. Each shard's own wrapper takes its lock, so
+// this is safe on a live engine.
+func (s *Engine) KernelReport() (engine.KernelReport, bool) {
+	var total engine.KernelReport
+	any := false
+	for _, sh := range s.shards {
+		kr, ok := engine.KernelReportOf(sh)
+		if !ok {
+			continue
+		}
+		any = true
+		total.InTwo += kr.InTwo
+		total.InThree += kr.InThree
+		total.Visited += kr.Visited
+		total.Moved += kr.Moved
+		total.Aux += kr.Aux
+		total.Pieces += kr.Pieces
+		total.Columns += kr.Columns
+	}
+	return total, any
+}
+
+// SnapshotStats implements engine.SnapObservable by summing the
+// per-shard snapshot lifecycle counters (zero when the shards are not
+// snapshot-wrapped).
+func (s *Engine) SnapshotStats() engine.SnapshotStats {
+	var total engine.SnapshotStats
+	for _, sh := range s.shards {
+		if ss, ok := engine.SnapshotStatsOf(sh); ok {
+			total.Published += ss.Published
+			total.Reclaimed += ss.Reclaimed
+			total.Limbo += ss.Limbo
+			total.Readers += ss.Readers
+		}
+	}
+	return total
+}
+
 // SetCrackPolicy forwards the adaptive cracking policy to every shard,
 // reporting whether the shard engines crack. Like the per-engine setters,
 // call it before the first query.

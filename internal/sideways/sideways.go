@@ -152,6 +152,21 @@ func (s *Store) NumSets() int { return len(s.sets) }
 
 // StorageTuples returns the total size of all maps in tuples (a map of
 // length n costs n tuples, as in the paper's Figures 9(d)/10(c)).
+// Kernel aggregates the kernel partition counters and cracker-index
+// sizes over every map of every set: the observability bridge. Call it
+// under the same synchronization as queries (the stats are plain ints on
+// the maps' Pairs).
+func (s *Store) Kernel() (ks crack.KernelStats, pieces, cols int) {
+	for _, set := range s.sets {
+		for _, m := range set.maps {
+			ks.Add(m.pairs.Stats)
+			pieces += m.pairs.Idx.Pieces()
+			cols++
+		}
+	}
+	return ks, pieces, cols
+}
+
 func (s *Store) StorageTuples() int {
 	total := 0
 	for _, set := range s.sets {

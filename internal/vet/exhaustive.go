@@ -8,16 +8,17 @@ import (
 )
 
 // Exhaustive requires every switch over the protocol and engine enums —
-// wire.Op, wire.Status, engine.Kind, wal.RecType — to either cover every
-// constant declared for the type or carry an explicit default arm. The
-// enums grow (a new op, a new status, a new engine kind, a new WAL record
-// type), and a switch silently falling through on the new value is how a
-// decoder mis-frames, a dispatcher drops a request, or recovery skips a
-// logged write; the default arm forces each site to decide its
+// wire.Op, wire.Status, engine.Kind, wal.RecType, obs.Stage — to either
+// cover every constant declared for the type or carry an explicit default
+// arm. The enums grow (a new op, a new status, a new engine kind, a new
+// WAL record type, a new trace stage), and a switch silently falling
+// through on the new value is how a decoder mis-frames, a dispatcher
+// drops a request, recovery skips a logged write, or a trace renderer
+// drops a span; the default arm forces each site to decide its
 // unknown-value behavior.
 var Exhaustive = &Checker{
 	Name: "exhaustive",
-	Doc:  "switches over wire.Op, wire.Status, engine.Kind, wal.RecType must be exhaustive or have a default",
+	Doc:  "switches over wire.Op, wire.Status, engine.Kind, wal.RecType, obs.Stage must be exhaustive or have a default",
 	Run:  runExhaustive,
 }
 
@@ -28,6 +29,7 @@ var exhaustiveTypes = map[string]bool{
 	"wire.Status": true,
 	"engine.Kind": true,
 	"wal.RecType": true,
+	"obs.Stage":   true,
 }
 
 func runExhaustive(pass *Pass) {

@@ -1,0 +1,42 @@
+// Fixture for the exhaustive checker's obs.Stage coverage (the package
+// is named obs so the enum reads obs.Stage, exactly as in the repo).
+package obs
+
+type Stage uint8
+
+const (
+	StageClientSend Stage = 1
+	StageQueue      Stage = 2
+	StageExecute    Stage = 3
+)
+
+func name(s Stage) string {
+	switch s { // want "misses StageExecute and has no default arm"
+	case StageClientSend:
+		return "client_send"
+	case StageQueue:
+		return "queue"
+	}
+	return ""
+}
+
+func okDefaultArm(s Stage) string {
+	switch s {
+	case StageClientSend:
+		return "client_send"
+	default:
+		return "?"
+	}
+}
+
+func okFullCoverage(s Stage) string {
+	switch s {
+	case StageClientSend:
+		return "client_send"
+	case StageQueue:
+		return "queue"
+	case StageExecute:
+		return "execute"
+	}
+	return ""
+}

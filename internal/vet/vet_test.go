@@ -68,6 +68,7 @@ func TestLockPairFixture(t *testing.T)       { fixture(t, "lockpair", LockPair) 
 func TestWireFixture(t *testing.T)           { fixture(t, "wire", WireBounds, Exhaustive) }
 func TestExhaustiveKindFixture(t *testing.T) { fixture(t, "exhaustive", Exhaustive) }
 func TestExhaustiveWalFixture(t *testing.T)  { fixture(t, "walenum", Exhaustive) }
+func TestExhaustiveObsFixture(t *testing.T)  { fixture(t, "obsstage", Exhaustive) }
 func TestDetRandFixture(t *testing.T)        { fixture(t, "crack", DetRand) }
 
 // TestPragmaFixture: a matching //crackvet:ignore suppresses and is

@@ -6,6 +6,10 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"crackstore/internal/obs"
 )
 
 // SyncMode selects when an append becomes durable.
@@ -103,8 +107,18 @@ type Log struct {
 
 	stats Stats
 
+	// fsyncHist, when set via ObserveFsync, receives the latency of every
+	// Sync syscall (observability bridge). An atomic pointer so it can be
+	// attached to a live log; nil costs one load per fsync.
+	fsyncHist atomic.Pointer[obs.Histogram]
+
 	buf []byte // encode scratch, reused under mu
 }
+
+// ObserveFsync attaches a latency histogram to the log's fsync path:
+// every subsequent Sync syscall observes its wall time. Safe to call on
+// a live log; pass nil to detach.
+func (l *Log) ObserveFsync(h *obs.Histogram) { l.fsyncHist.Store(h) }
 
 // OpenLog opens (creating if needed) the log file at path, truncates any
 // torn tail to the longest valid record prefix, and positions appends at
@@ -229,7 +243,15 @@ func (l *Log) WaitDurable(end int64) error {
 // syncOnce drives one Sync syscall (caller set l.syncing) and publishes
 // the outcome.
 func (l *Log) syncOnce(target int64) {
+	var t0 time.Time
+	h := l.fsyncHist.Load()
+	if h != nil {
+		t0 = time.Now()
+	}
 	err := l.f.Sync()
+	if h != nil {
+		h.Observe(time.Since(t0))
+	}
 	l.mu.Lock()
 	l.syncing = false
 	l.stats.Fsyncs++

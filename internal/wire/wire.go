@@ -60,6 +60,20 @@
 // remaining, so a truncated or adversarial frame can neither panic the
 // decoder nor make it over-allocate (FuzzDecodeRequest and
 // FuzzDecodeResponse pin both properties).
+//
+// # Tracing extension
+//
+// A traced request sets traceFlag (0x40) on its op byte and carries a
+// trace ID uvarint after the TTL; the matching response sets the same
+// flag and appends a per-stage span list (queue, execute, crack) after
+// its body. The flag bit is free — request ops are small positive bytes
+// and responses use the 0x80 tag — so untraced traffic is byte-identical
+// to the previous protocol version: an old client never sets the flag
+// and a new server answers it exactly as before. A new client discovers
+// whether its server understands the extension with OpHello (a
+// protocol-version exchange): an old server answers Hello with its usual
+// in-band unknown-op error and an intact connection, which the client
+// reads as "no tracing", and simply never sets the flag.
 package wire
 
 import (
@@ -73,8 +87,14 @@ import (
 	"time"
 
 	"crackstore/internal/engine"
+	"crackstore/internal/obs"
 	"crackstore/internal/store"
 )
+
+// ProtoVersion is the protocol version this package speaks, exchanged by
+// OpHello. Version 2 added the tracing extension (traceFlag + span
+// lists); version 1 is the implied pre-Hello protocol.
+const ProtoVersion = 2
 
 // FrameHeader is the byte size of the frame header: a big-endian payload
 // length, the same length XOR lenEcho, and a big-endian CRC-32 (IEEE) of
@@ -106,6 +126,12 @@ const (
 	OpDelete  Op = 4 // delete by tuple key
 	OpStats   Op = 5 // serving-layer statistics snapshot
 	OpPing    Op = 6 // health check: answered immediately, bypassing admission
+	// OpHello exchanges protocol versions. New clients send it once per
+	// connection before relying on any protocol extension; servers answer
+	// with their own ProtoVersion. Servers predating OpHello answer with
+	// their regular in-band unknown-op error (connection intact), which a
+	// client must treat as version 1.
+	OpHello Op = 7
 )
 
 func (o Op) String() string {
@@ -122,6 +148,8 @@ func (o Op) String() string {
 		return "stats"
 	case OpPing:
 		return "ping"
+	case OpHello:
+		return "hello"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -144,6 +172,11 @@ const (
 // respTag marks a payload as a response (high bit set over the request op).
 const respTag byte = 0x80
 
+// traceFlag marks a traced payload: the request carries a trace ID
+// uvarint after its TTL, the response carries a span list after its
+// body. Free bit: ops are small positive bytes, responses use respTag.
+const traceFlag byte = 0x40
+
 // Request is one decoded client request.
 type Request struct {
 	ID uint64
@@ -163,6 +196,14 @@ type Request struct {
 	// recorded response instead of applying the write again — what makes a
 	// write safe to retry after its frame reached the wire.
 	Token uint64
+
+	// Trace is the nonzero trace ID of a sampled query (0 = untraced).
+	// Traced requests set traceFlag on the wire and ask the server to
+	// time its stages and return them as response spans.
+	Trace uint64
+
+	// Version is the client's protocol version (OpHello only).
+	Version uint64
 
 	// Query body (OpQuery, OpQueryRO).
 	Query engine.Query
@@ -187,6 +228,14 @@ type Response struct {
 	Key int
 	// Stats answers OpStats.
 	Stats Stats
+	// Version answers OpHello: the server's protocol version.
+	Version uint64
+
+	// Spans are the server-side stage timings of a traced request
+	// (StageQueue, StageExecute, StageCrack), with Start offsets relative
+	// to the server's receipt of the request. Present only when the
+	// request carried a trace ID and the server speaks the extension.
+	Spans []obs.Span
 }
 
 // Stats is the wire form of the serving-layer statistics: scalar summary
@@ -601,6 +650,64 @@ func consumeStats(b []byte) (Stats, []byte, error) {
 	return st, b, nil
 }
 
+// appendSpans encodes a span list: count, then per span a stage byte and
+// start/dur as nanosecond uvarints. Negative offsets clamp to zero (a
+// span never legitimately starts before its trace).
+func appendSpans(buf []byte, spans []obs.Span) []byte {
+	buf = appendUvarint(buf, uint64(len(spans)))
+	for _, sp := range spans {
+		buf = append(buf, byte(sp.Stage))
+		start, dur := sp.Start, sp.Dur
+		if start < 0 {
+			start = 0
+		}
+		if dur < 0 {
+			dur = 0
+		}
+		buf = appendUvarint(buf, uint64(start))
+		buf = appendUvarint(buf, uint64(dur))
+	}
+	return buf
+}
+
+func consumeSpans(b []byte) ([]obs.Span, []byte, error) {
+	n, b, err := consumeLen(b, 3) // stage byte + two 1-byte uvarints minimum
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	spans := make([]obs.Span, n)
+	for i := range spans {
+		if len(b) < 1 {
+			return nil, nil, ErrCorrupt
+		}
+		st := obs.Stage(b[0])
+		if st == 0 || st > obs.MaxStage {
+			return nil, nil, fmt.Errorf("%w: unknown trace stage %d", ErrCorrupt, b[0])
+		}
+		spans[i].Stage = st
+		b = b[1:]
+		var u uint64
+		if u, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		if u > math.MaxInt64 {
+			return nil, nil, fmt.Errorf("%w: span start overflows", ErrCorrupt)
+		}
+		spans[i].Start = time.Duration(u)
+		if u, b, err = consumeUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		if u > math.MaxInt64 {
+			return nil, nil, fmt.Errorf("%w: span duration overflows", ErrCorrupt)
+		}
+		spans[i].Dur = time.Duration(u)
+	}
+	return spans, b, nil
+}
+
 // ---------------------------------------------------------------------------
 // Request codec.
 
@@ -628,13 +735,20 @@ const maxTTLMicros = uint64(math.MaxInt64 / int64(time.Microsecond))
 // AppendRequest appends req as one complete frame (prefix included).
 func AppendRequest(buf []byte, req *Request) []byte {
 	buf, start := beginFrame(buf)
-	buf = append(buf, byte(req.Op))
+	op := byte(req.Op)
+	if req.Trace != 0 {
+		op |= traceFlag
+	}
+	buf = append(buf, op)
 	buf = appendUvarint(buf, req.ID)
 	ttl := req.TTL / time.Microsecond
 	if ttl < 0 {
 		ttl = 0
 	}
 	buf = appendUvarint(buf, uint64(ttl))
+	if req.Trace != 0 {
+		buf = appendUvarint(buf, req.Trace)
+	}
 	switch req.Op {
 	case OpQuery, OpQueryRO:
 		buf = appendQuery(buf, req.Query)
@@ -646,6 +760,8 @@ func AppendRequest(buf []byte, req *Request) []byte {
 		buf = appendVarint(buf, int64(req.Key))
 	case OpStats, OpPing:
 		// no body
+	case OpHello:
+		buf = appendUvarint(buf, req.Version)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode request op %v", req.Op))
 	}
@@ -658,7 +774,9 @@ func DecodeRequest(payload []byte) (Request, error) {
 	if len(payload) < 1 {
 		return req, ErrCorrupt
 	}
-	op, b := Op(payload[0]), payload[1:]
+	tagged, b := payload[0], payload[1:]
+	traced := tagged&traceFlag != 0
+	op := Op(tagged &^ traceFlag)
 	var err error
 	if req.ID, b, err = consumeUvarint(b); err != nil {
 		return req, err
@@ -671,6 +789,14 @@ func DecodeRequest(payload []byte) (Request, error) {
 		return req, fmt.Errorf("%w: ttl overflows", ErrCorrupt)
 	}
 	req.TTL = time.Duration(ttl) * time.Microsecond
+	if traced {
+		if req.Trace, b, err = consumeUvarint(b); err != nil {
+			return req, err
+		}
+		if req.Trace == 0 {
+			return req, fmt.Errorf("%w: traced request with zero trace id", ErrCorrupt)
+		}
+	}
 	req.Op = op
 	switch op {
 	case OpQuery, OpQueryRO:
@@ -698,6 +824,10 @@ func DecodeRequest(payload []byte) (Request, error) {
 		req.Key = int(k)
 	case OpStats, OpPing:
 		// no body
+	case OpHello:
+		if req.Version, b, err = consumeUvarint(b); err != nil {
+			return req, err
+		}
 	default:
 		return req, fmt.Errorf("%w: unknown request op %d", ErrCorrupt, byte(op))
 	}
@@ -713,7 +843,11 @@ func DecodeRequest(payload []byte) (Request, error) {
 // AppendResponse appends resp as one complete frame (prefix included).
 func AppendResponse(buf []byte, resp *Response) []byte {
 	buf, start := beginFrame(buf)
-	buf = append(buf, byte(resp.Op)|respTag)
+	tag := byte(resp.Op) | respTag
+	if len(resp.Spans) > 0 {
+		tag |= traceFlag
+	}
+	buf = append(buf, tag)
 	buf = appendUvarint(buf, resp.ID)
 	buf = append(buf, byte(resp.Status))
 	switch resp.Status {
@@ -734,11 +868,16 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 			// no body
 		case OpStats:
 			buf = appendStats(buf, resp.Stats)
+		case OpHello:
+			buf = appendUvarint(buf, resp.Version)
 		default:
 			panic(fmt.Sprintf("wire: cannot encode response op %v", resp.Op))
 		}
 	default:
 		panic(fmt.Sprintf("wire: cannot encode response status %d", resp.Status))
+	}
+	if len(resp.Spans) > 0 {
+		buf = appendSpans(buf, resp.Spans)
 	}
 	return endFrame(buf, start)
 }
@@ -753,7 +892,8 @@ func DecodeResponse(payload []byte) (Response, error) {
 	if tagged&respTag == 0 {
 		return resp, fmt.Errorf("%w: payload is not a response", ErrCorrupt)
 	}
-	resp.Op = Op(tagged &^ respTag)
+	traced := tagged&traceFlag != 0
+	resp.Op = Op(tagged &^ (respTag | traceFlag))
 	var err error
 	if resp.ID, b, err = consumeUvarint(b); err != nil {
 		return resp, err
@@ -773,7 +913,7 @@ func DecodeResponse(payload []byte) (Response, error) {
 		}
 	case StatusOverloaded:
 		switch resp.Op {
-		case OpQuery, OpQueryRO, OpInsert, OpDelete, OpStats, OpPing:
+		case OpQuery, OpQueryRO, OpInsert, OpDelete, OpStats, OpPing, OpHello:
 			// no body
 		default:
 			return resp, fmt.Errorf("%w: overloaded status on unknown op %d", ErrCorrupt, byte(resp.Op))
@@ -802,11 +942,20 @@ func DecodeResponse(payload []byte) (Response, error) {
 			if resp.Stats, b, err = consumeStats(b); err != nil {
 				return resp, err
 			}
+		case OpHello:
+			if resp.Version, b, err = consumeUvarint(b); err != nil {
+				return resp, err
+			}
 		default:
 			return resp, fmt.Errorf("%w: unknown response op %d", ErrCorrupt, byte(resp.Op))
 		}
 	default:
 		return resp, fmt.Errorf("%w: unknown status %d", ErrCorrupt, byte(resp.Status))
+	}
+	if traced {
+		if resp.Spans, b, err = consumeSpans(b); err != nil {
+			return resp, err
+		}
 	}
 	if len(b) != 0 {
 		return resp, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
